@@ -1,0 +1,202 @@
+// Package orap's root benchmark harness regenerates every table and
+// figure-equivalent of the paper's evaluation, one testing.B benchmark
+// per experiment. The benchmarks run the generated benchmark circuits at
+// a reduced scale by default so `go test -bench=. -benchmem` finishes in
+// minutes; run `go run ./cmd/orapbench -table all -scale 1` for
+// paper-scale numbers. Key result figures are attached to each benchmark
+// via b.ReportMetric, so the -bench output doubles as a summary of the
+// reproduction.
+package orap_test
+
+import (
+	"testing"
+
+	"orap/internal/exp"
+)
+
+const (
+	benchScale = 0.05
+	benchSeed  = 2020
+)
+
+// BenchmarkTableI regenerates Table I (HD %, area overhead %, delay
+// overhead % under OraP + weighted logic locking) on scaled versions of
+// all eight benchmark circuits. Reported metrics: the mean HD and mean
+// area overhead across circuits.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TableI(exp.TableIOptions{
+			Scale:    benchScale,
+			Patterns: 1 << 14,
+			Seed:     benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hd, area float64
+		for _, r := range rows {
+			hd += r.HDPercent
+			area += r.AreaOvhd
+		}
+		b.ReportMetric(hd/float64(len(rows)), "meanHD%")
+		b.ReportMetric(area/float64(len(rows)), "meanAreaOvhd%")
+	}
+}
+
+// BenchmarkTableII regenerates Table II (stuck-at fault coverage and
+// redundant+aborted fault counts, original vs protected). The coverage
+// delta (protected − original, averaged) is reported; the paper's
+// observation is that it is non-negative.
+func BenchmarkTableII(b *testing.B) {
+	circuits := []string{"s38417", "s38584", "b17", "b20", "b21", "b22"}
+	if testing.Short() {
+		circuits = []string{"b20"}
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TableII(exp.TableIIOptions{
+			Scale:    0.01,
+			Circuits: circuits,
+			Seed:     benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var delta float64
+		for _, r := range rows {
+			delta += r.ProtFC - r.OrigFC
+		}
+		b.ReportMetric(delta/float64(len(rows)), "meanFCdelta%")
+	}
+}
+
+// BenchmarkSectionIIA regenerates the Section II-A security analysis as
+// an experiment: four oracle-guided attacks against the unprotected and
+// the OraP-gated scan oracle. Reported metrics: how many attacks steal a
+// correct key in each mode (expected: all vs none).
+func BenchmarkSectionIIA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AttackStudy(exp.AttackStudyOptions{Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var vsNone, vsOraP float64
+		for _, r := range rows {
+			if r.KeyCorrect {
+				if r.Protection == "none" {
+					vsNone++
+				} else {
+					vsOraP++
+				}
+			}
+		}
+		b.ReportMetric(vsNone, "stolen-vs-unprotected")
+		b.ReportMetric(vsOraP, "stolen-vs-orap")
+	}
+}
+
+// BenchmarkSectionIII regenerates the Section III Trojan study: payload
+// costs under the countermeasures plus behavioural outcomes of every
+// scenario against the basic and modified schemes. Reported metric: the
+// scenario-(d) payload in gate equivalents for a 128-bit register.
+func BenchmarkSectionIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TrojanStudy(exp.TrojanStudyOptions{KeyBits: 128, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scenario == "d" {
+				b.ReportMetric(r.PayloadGE, "payloadD-GE")
+			}
+			if r.Scenario == "e" && (!r.BasicWorks || r.ModifiedWorks) {
+				b.Fatalf("scenario (e) shape broken: basic=%v modified=%v", r.BasicWorks, r.ModifiedWorks)
+			}
+		}
+	}
+}
+
+// BenchmarkSATScaling regenerates the attack-scaling ablation: SAT-attack
+// iterations against random XOR locking, weighted locking, SARLock and
+// Anti-SAT as the key widens. Reported metric: SARLock iterations at the
+// widest swept key (expected ≈ 2^keybits).
+func BenchmarkSATScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.SATScaling(exp.SATScalingOptions{KeyWidths: []int{4, 6, 8}, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Defense == "sarlock" && r.KeyBits == 8 {
+				b.ReportMetric(float64(r.Iterations), "sarlock8-iters")
+			}
+		}
+	}
+}
+
+// BenchmarkXorTreeSweep regenerates the attack-(d) design-space sweep:
+// the XOR-tree payload a Trojan needs as a function of the LFSR wiring
+// and unlock schedule. Reported metric: the payload at the densest swept
+// design point.
+func BenchmarkXorTreeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.XorTreeSweep(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		max := 0.0
+		for _, r := range rows {
+			if r.PayloadGE > max {
+				max = r.PayloadGE
+			}
+		}
+		b.ReportMetric(max, "maxPayload-GE")
+	}
+}
+
+// BenchmarkCtrlWidthSweep regenerates the weighted-locking control-width
+// ablation (HD versus control gate width). Reported metric: HD at width 3
+// (Table I's standard choice).
+func BenchmarkCtrlWidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.CtrlWidthSweep(benchSeed, []int{1, 2, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.ControlWidth == 3 {
+				b.ReportMetric(r.HDPercent, "HD@w3-%")
+			}
+		}
+	}
+}
+
+// BenchmarkOtherAttacks regenerates the bypass / SPS+removal
+// applicability study. Reported metric: how many of the five rows apply
+// (expected 3: bypass/SARLock both oracles, SPS/Anti-SAT).
+func BenchmarkOtherAttacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.OtherAttacks(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		applies := 0.0
+		for _, r := range rows {
+			if r.Applies {
+				applies++
+			}
+		}
+		b.ReportMetric(applies, "applicable-rows")
+	}
+}
+
+// BenchmarkKeySizeSweep regenerates the HD-saturation ablation. Reported
+// metric: HD at the largest swept key size (expected just under 50%).
+func BenchmarkKeySizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.KeySizeSweep(benchSeed, []int{12, 48, 96})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].HDPercent, "HD@96-%")
+	}
+}

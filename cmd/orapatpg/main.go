@@ -1,0 +1,85 @@
+// Command orapatpg runs the Table II testability flow on a circuit:
+// fault collapsing, random-pattern fault simulation with dropping (the
+// HOPE step), then SAT-based deterministic test generation with
+// redundant/aborted classification (the Atalanta step).
+//
+// Usage:
+//
+//	orapatpg -in c432.bench
+//	orapatpg -gen b20 -scale 0.05     # on a generated benchmark profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"orap/internal/atpg"
+	"orap/internal/bench"
+	"orap/internal/benchgen"
+	"orap/internal/faultsim"
+	"orap/internal/netlist"
+	"orap/internal/rng"
+)
+
+func main() {
+	var (
+		in           = flag.String("in", "", "input .bench file")
+		gen          = flag.String("gen", "", "generate a synthetic benchmark instead (s38417, b17, …)")
+		scale        = flag.Float64("scale", 0.05, "scale factor for -gen")
+		randomBlocks = flag.Int("randblocks", 32, "random fault-simulation blocks (64 patterns each) before ATPG")
+		budget       = flag.Int64("conflicts", 0, "SAT conflict budget per fault (0 = high effort)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var circuit *netlist.Circuit
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		fatal(err)
+		circuit, err = bench.Parse(f, *in)
+		f.Close()
+		fatal(err)
+	case *gen != "":
+		prof, err := benchgen.ProfileByName(*gen)
+		fatal(err)
+		circuit, err = benchgen.Generate(prof.Scale(*scale), *seed)
+		fatal(err)
+	default:
+		fmt.Fprintln(os.Stderr, "orapatpg: pass -in or -gen")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("circuit: %s", circuit.Summary())
+
+	sim, err := faultsim.New(circuit)
+	fatal(err)
+	faults := faultsim.CollapseFaults(circuit)
+	fmt.Printf("collapsed fault list: %d faults\n", len(faults))
+
+	start := time.Now()
+	randRes := sim.RunRandom(faults, *randomBlocks, rng.New(*seed))
+	fmt.Printf("random phase: %d/%d detected (%.2f%%) in %v, %d faults remain\n",
+		randRes.Detected, randRes.Total, randRes.Coverage(),
+		time.Since(start).Round(time.Millisecond), len(randRes.Remaining))
+
+	start = time.Now()
+	sum, err := atpg.Run(circuit, sim, randRes, atpg.Options{ConflictBudget: *budget})
+	fatal(err)
+	fmt.Printf("deterministic phase: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("fault coverage:      %.2f%%\n", sum.Coverage())
+	fmt.Printf("detected:            %d/%d\n", sum.Detected, sum.Total)
+	fmt.Printf("redundant:           %d\n", sum.Redundant)
+	fmt.Printf("aborted:             %d\n", sum.Aborted)
+	fmt.Printf("red + abrt:          %d\n", sum.RedundantPlusAborted())
+	fmt.Printf("generated patterns:  %d\n", len(sum.Patterns))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orapatpg: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Command orapbench regenerates the paper's evaluation tables and this
+// repository's additional studies.
+//
+// Usage:
+//
+//	orapbench -table 1        # Table I: HD, area and delay overhead
+//	orapbench -table 2        # Table II: stuck-at coverage, red+abrt faults
+//	orapbench -table attacks  # Section II-A: attacks vs oracle protection
+//	orapbench -table trojan   # Section III: Trojan payloads and outcomes
+//	orapbench -table scaling  # ablation: SAT iterations vs defense/key width
+//	orapbench -table xortree  # ablation: attack-(d) XOR-tree design space
+//	orapbench -table ctrl     # ablation: HD vs control-gate width
+//	orapbench -table keysize  # ablation: HD saturation vs key size
+//	orapbench -table others   # bypass / SPS+removal applicability
+//	orapbench -table all
+//
+// The -scale flag shrinks the generated benchmark circuits; -scale 1
+// reproduces the paper's circuit sizes (Table I/II then take minutes to
+// hours of CPU depending on the circuit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"orap/internal/exp"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "which table to regenerate: 1, 2, attacks, trojan, scaling, xortree, ctrl, keysize, others, all")
+		scale    = flag.Float64("scale", 0.05, "benchmark circuit scale factor (1 = paper scale)")
+		seed     = flag.Uint64("seed", 2020, "experiment seed")
+		patterns = flag.Int("patterns", 0, "HD pattern count (0 = default, a few hundred thousand)")
+		circuits = flag.String("circuits", "", "comma-separated benchmark subset (default: all eight)")
+	)
+	flag.Parse()
+	scaleExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scale" {
+			scaleExplicit = true
+		}
+	})
+	// Table II runs full ATPG; at the shared default scale it dominates a
+	// "-table all" run, so it gets a lighter default unless -scale was
+	// passed explicitly.
+	atpgScale := *scale
+	if !scaleExplicit && atpgScale > 0.02 {
+		atpgScale = 0.02
+	}
+
+	var subset []string
+	if *circuits != "" {
+		subset = strings.Split(*circuits, ",")
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "orapbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("1") {
+		run("Table I — HD, area and delay overhead (OraP + weighted logic locking)", func() error {
+			rows, err := exp.TableI(exp.TableIOptions{
+				Scale:    *scale,
+				Patterns: *patterns,
+				Circuits: subset,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatTableI(rows))
+			return nil
+		})
+	}
+	if want("2") {
+		run("Table II — stuck-at fault coverage, original vs protected", func() error {
+			rows, err := exp.TableII(exp.TableIIOptions{
+				Scale:    atpgScale,
+				Circuits: subset,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatTableII(rows))
+			return nil
+		})
+	}
+	if want("attacks") {
+		run("Section II-A — oracle-guided attacks vs oracle protection", func() error {
+			rows, err := exp.AttackStudy(exp.AttackStudyOptions{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatAttackStudy(rows))
+			return nil
+		})
+	}
+	if want("trojan") {
+		run("Section III — Trojan scenarios: payloads and simulated outcomes", func() error {
+			rows, err := exp.TrojanStudy(exp.TrojanStudyOptions{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatTrojanStudy(rows))
+			return nil
+		})
+	}
+	if want("scaling") {
+		run("Ablation — SAT-attack iterations vs defense and key width", func() error {
+			rows, err := exp.SATScaling(exp.SATScalingOptions{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatSATScaling(rows))
+			return nil
+		})
+	}
+	if want("xortree") {
+		run("Ablation — attack-(d) XOR-tree cost vs LFSR design space", func() error {
+			rows, err := exp.XorTreeSweep(128)
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatXorTreeSweep(rows))
+			return nil
+		})
+	}
+	if want("others") {
+		run("Section II-A — bypass / SPS+removal applicability", func() error {
+			rows, err := exp.OtherAttacks(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatOtherAttacks(rows))
+			return nil
+		})
+	}
+	if want("keysize") {
+		run("Ablation — HD saturation vs key size (the paper's stopping rule)", func() error {
+			rows, err := exp.KeySizeSweep(*seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatKeySizeSweep(rows))
+			return nil
+		})
+	}
+	if want("ctrl") {
+		run("Ablation — HD vs weighted-locking control-gate width", func() error {
+			rows, err := exp.CtrlWidthSweep(*seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatCtrlWidthSweep(rows))
+			return nil
+		})
+	}
+}

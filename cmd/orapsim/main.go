@@ -1,0 +1,190 @@
+// Command orapsim simulates one chip session: build an OraP-protected
+// chip from a locked .bench netlist, run the owner's unlock sequence,
+// then play an attacker's scan queries (or a chosen Trojan scenario)
+// against it, printing what each side observes.
+//
+// Usage:
+//
+//	orapsim -locked c432_locked.bench -key 0110… -protect basic \
+//	        -query 101001… -query 111000…
+//	orapsim -locked c432_locked.bench -key 0110… -protect modified -trojan freeze
+//
+// Each -query shifts a pattern through the scan chains (scan in – capture
+// – scan out) and prints the response next to the correct one, bit
+// differences marked. -trojan {suppress,shadow,freeze} arms the
+// corresponding Section III payload before the session.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orap/internal/bench"
+	"orap/internal/netlist"
+	"orap/internal/oracle"
+	"orap/internal/orap"
+	"orap/internal/rng"
+	"orap/internal/scan"
+	"orap/internal/sim"
+)
+
+type queryList []string
+
+func (q *queryList) String() string { return fmt.Sprint(*q) }
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
+func main() {
+	var queries queryList
+	var (
+		lockedPath = flag.String("locked", "", "locked .bench netlist (required)")
+		key        = flag.String("key", "", "correct key as a 0/1 string (required)")
+		prot       = flag.String("protect", "basic", "protection: none, basic, modified")
+		trojanName = flag.String("trojan", "", "arm a Trojan: suppress, shadow, freeze")
+		pins       = flag.Int("pins", -1, "package-pin inputs (-1 = all)")
+		pinOuts    = flag.Int("pinouts", -1, "package-pin outputs (-1 = all)")
+		seed       = flag.Uint64("seed", 1, "random seed for the scheme synthesis")
+	)
+	flag.Var(&queries, "query", "input pattern to scan in (repeatable); random patterns are used when none given")
+	flag.Parse()
+	if *lockedPath == "" || *key == "" {
+		fmt.Fprintln(os.Stderr, "orapsim: -locked and -key are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*lockedPath)
+	fatal(err)
+	locked, err := bench.Parse(f, *lockedPath)
+	f.Close()
+	fatal(err)
+	if len(*key) != locked.NumKeys() {
+		fatal(fmt.Errorf("key must have %d bits, got %d", locked.NumKeys(), len(*key)))
+	}
+	kb := make([]bool, len(*key))
+	for i := range kb {
+		kb[i] = (*key)[i] == '1'
+	}
+
+	var protection scan.Protection
+	switch *prot {
+	case "none":
+		protection = scan.None
+	case "basic":
+		protection = scan.OraPBasic
+	case "modified":
+		protection = scan.OraPModified
+	default:
+		fatal(fmt.Errorf("unknown protection %q", *prot))
+	}
+	realPIs, realPOs := *pins, *pinOuts
+	if realPIs < 0 {
+		realPIs = locked.NumInputs()
+	}
+	if realPOs < 0 {
+		realPOs = locked.NumOutputs()
+	}
+	cfg, err := orap.Protect(locked, kb, realPIs, realPOs, protection, orap.Options{Rand: rng.New(*seed)})
+	fatal(err)
+	chip, err := scan.New(cfg)
+	fatal(err)
+
+	fmt.Printf("chip: %s protection, %d-bit key register", protection, locked.NumKeys())
+	if protection != scan.None {
+		fmt.Printf(", %d seeds over %d unlock cycles", cfg.Schedule.NumSeeds(), cfg.Schedule.TotalCycles())
+	}
+	fmt.Println()
+
+	switch *trojanName {
+	case "":
+	case "suppress":
+		chip.ArmTrojans(scan.Trojans{SuppressKeyReset: true})
+		fmt.Println("trojan: key-register reset suppressed (scenarios a/b)")
+	case "shadow":
+		chip.ArmTrojans(scan.Trojans{ShadowKey: true})
+		fmt.Println("trojan: shadow key register armed (scenario c)")
+	case "freeze":
+		chip.ArmTrojans(scan.Trojans{FreezeFFs: true})
+		fmt.Println("trojan: flip-flops frozen during unlock (scenario e)")
+	default:
+		fatal(fmt.Errorf("unknown trojan %q", *trojanName))
+	}
+
+	fmt.Println("owner: running the unlock sequence…")
+	fatal(chip.Unlock(nil))
+	fmt.Printf("owner: key register now %s (correct: %s)\n", bits(chip.Key()), *key)
+
+	if *trojanName == "shadow" {
+		leaked, err := chip.ReadShadow()
+		fatal(err)
+		fmt.Printf("trojan: shadow register leaked %s\n", bits(leaked))
+	}
+
+	// Attacker session.
+	o := oracle.NewScan(chip)
+	pats := patterns(queries, locked, *seed)
+	fmt.Printf("\nattacker: %d scan queries (scan in – capture – scan out)\n", len(pats))
+	for qi, x := range pats {
+		resp, err := o.Query(x)
+		fatal(err)
+		want, err := sim.Eval(locked, x, kb)
+		fatal(err)
+		diff := 0
+		for i := range resp {
+			if resp[i] != want[i] {
+				diff++
+			}
+		}
+		status := "CORRECT — oracle exposed"
+		if diff > 0 {
+			status = fmt.Sprintf("%d/%d bits wrong — locked-circuit response", diff, len(resp))
+		}
+		fmt.Printf("  query %d: in=%s out=%s (%s)\n", qi, bits(x), bits(resp), status)
+	}
+	fmt.Printf("\nkey register after the session: %s\n", bits(chip.Key()))
+}
+
+// patterns parses the -query strings or draws random patterns.
+func patterns(qs queryList, c *netlist.Circuit, seed uint64) [][]bool {
+	var out [][]bool
+	for _, q := range qs {
+		if len(q) != c.NumInputs() {
+			fatal(fmt.Errorf("query %q must have %d bits", q, c.NumInputs()))
+		}
+		x := make([]bool, len(q))
+		for i := range x {
+			x[i] = q[i] == '1'
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		r := rng.New(seed + 100)
+		for i := 0; i < 3; i++ {
+			x := make([]bool, c.NumInputs())
+			r.Bits(x)
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func bits(bs []bool) string {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orapsim: %v\n", err)
+		os.Exit(1)
+	}
+}

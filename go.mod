@@ -1,0 +1,3 @@
+module orap
+
+go 1.22

@@ -1,0 +1,350 @@
+// Package atpg generates stuck-at-fault test patterns, the role Atalanta
+// plays in the paper's Table II flow.
+//
+// The generator is SAT-based rather than PODEM-based: for every target
+// fault it encodes the good and faulty circuits (restricted to the
+// fault's cone of influence) sharing their inputs, asserts that some
+// reachable output differs, and asks the CDCL solver for a pattern. The
+// classification matches the classic ATPG vocabulary exactly:
+//
+//   - SAT        → a test pattern (returned and fault-simulated),
+//   - UNSAT      → the fault is provably redundant,
+//   - budget hit → the fault is aborted.
+//
+// Key inputs are treated as ordinary, freely controllable inputs: under
+// OraP the key register is wired into the scan chains, so "the tool was
+// allowed to set any value to the key inputs" (Table II's setup).
+package atpg
+
+import (
+	"fmt"
+
+	"orap/internal/faultsim"
+	"orap/internal/netlist"
+	"orap/internal/sat"
+)
+
+// Class is the ATPG outcome for a single fault.
+type Class int
+
+// Fault classes.
+const (
+	// Detected faults have a generated (or fault-simulated) pattern.
+	Detected Class = iota
+	// Redundant faults are proven untestable.
+	Redundant
+	// Aborted faults exceeded the effort budget undecided.
+	Aborted
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Detected:
+		return "detected"
+	case Redundant:
+		return "redundant"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Options bounds ATPG effort.
+type Options struct {
+	// ConflictBudget bounds SAT conflicts per fault (the "backtrack
+	// limit"); 0 means 20000, mirroring a high-effort Atalanta run.
+	ConflictBudget int64
+}
+
+func (o Options) budget() int64 {
+	if o.ConflictBudget > 0 {
+		return o.ConflictBudget
+	}
+	return 20000
+}
+
+// Outcome reports one fault's result.
+type Outcome struct {
+	Fault   faultsim.Fault
+	Class   Class
+	Pattern []bool // inputs then keys; nil unless Detected by this call
+}
+
+// Generate targets one fault and returns its outcome.
+func Generate(c *netlist.Circuit, f faultsim.Fault, opts Options) (Outcome, error) {
+	s := sat.New()
+	s.MaxConflicts = opts.budget()
+
+	enc, err := encodeFaultCone(s, c, f)
+	if err != nil {
+		return Outcome{}, err
+	}
+	ok, err := s.Solve()
+	if err == sat.ErrBudget {
+		return Outcome{Fault: f, Class: Aborted}, nil
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !ok {
+		return Outcome{Fault: f, Class: Redundant}, nil
+	}
+	all := c.AllInputs()
+	pattern := make([]bool, len(all))
+	for i, id := range all {
+		if v := enc.inputVar[id]; v >= 0 {
+			pattern[i] = s.Value(v) == sat.True
+		}
+		// Inputs outside the cone stay false; any value works.
+	}
+	return Outcome{Fault: f, Class: Detected, Pattern: pattern}, nil
+}
+
+// coneEncoding carries the variable maps of the restricted good/faulty
+// encoding.
+type coneEncoding struct {
+	inputVar map[int]sat.Var // circuit input node -> shared variable
+}
+
+// encodeFaultCone adds CNF for the good and faulty circuit restricted to
+// the union of the fault's output cone and that cone's input support,
+// sharing input variables, and asserts that an observed output differs.
+func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*coneEncoding, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Influence region: transitive fanout of the fault node; support:
+	// transitive fanin of that region.
+	influenced := c.TransitiveFanout(f.Node)
+	need := make([]bool, c.NumNodes())
+	stack := []int{}
+	for id := range influenced {
+		if influenced[id] {
+			need[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fi := range c.Gates[id].Fanin {
+			if !need[fi] {
+				need[fi] = true
+				stack = append(stack, fi)
+			}
+		}
+	}
+
+	goodVar := make([]sat.Var, c.NumNodes())
+	faultVar := make([]sat.Var, c.NumNodes())
+	for i := range goodVar {
+		goodVar[i] = -1
+		faultVar[i] = -1
+	}
+	enc := &coneEncoding{inputVar: make(map[int]sat.Var)}
+
+	lits := func(vars []sat.Var, ids []int) []sat.Lit {
+		ls := make([]sat.Lit, len(ids))
+		for i, id := range ids {
+			ls[i] = sat.MkLit(vars[id], false)
+		}
+		return ls
+	}
+
+	for _, id := range order {
+		if !need[id] {
+			continue
+		}
+		g := &c.Gates[id]
+		// Good copy.
+		gv := s.NewVar()
+		goodVar[id] = gv
+		if g.Type == netlist.Input {
+			enc.inputVar[id] = gv
+		} else {
+			if err := emitGate(s, g.Type, sat.MkLit(gv, false), lits(goodVar, g.Fanin)); err != nil {
+				return nil, err
+			}
+		}
+		// Faulty copy: nodes outside the influenced region share the
+		// good variable; influenced nodes get their own, with the fault
+		// injected at the fault site.
+		if !influenced[id] {
+			faultVar[id] = gv
+			continue
+		}
+		fv := s.NewVar()
+		faultVar[id] = fv
+		switch {
+		case id == f.Node && f.Pin < 0:
+			// Output fault: the node is a constant.
+			s.AddClause(sat.MkLit(fv, !f.SA1))
+		case g.Type == netlist.Input:
+			// An influenced input can only be the fault node itself
+			// (inputs have no fanin); constrain equal to good.
+			s.AddClause(sat.MkLit(fv, true), sat.MkLit(gv, false))
+			s.AddClause(sat.MkLit(fv, false), sat.MkLit(gv, true))
+		default:
+			fan := lits(faultVar, g.Fanin)
+			if id == f.Node && f.Pin >= 0 {
+				// Input-pin fault: replace that pin with a constant.
+				cv := s.NewVar()
+				s.AddClause(sat.MkLit(cv, !f.SA1))
+				fan[f.Pin] = sat.MkLit(cv, false)
+			}
+			if err := emitGate(s, g.Type, sat.MkLit(fv, false), fan); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Some observed output in the influenced region must differ.
+	var diffs []sat.Lit
+	for _, o := range c.POs {
+		if !influenced[o] {
+			continue
+		}
+		d := sat.MkLit(s.NewVar(), false)
+		emitXor2(s, d, sat.MkLit(goodVar[o], false), sat.MkLit(faultVar[o], false))
+		diffs = append(diffs, d)
+	}
+	if len(diffs) == 0 {
+		// Fault effect cannot reach any output: structurally redundant.
+		s.AddClause() // empty clause: force UNSAT
+		return enc, nil
+	}
+	s.AddClause(diffs...)
+	return enc, nil
+}
+
+func emitGate(s *sat.Solver, t netlist.GateType, out sat.Lit, fan []sat.Lit) error {
+	switch t {
+	case netlist.Const0:
+		s.AddClause(out.Not())
+	case netlist.Const1:
+		s.AddClause(out)
+	case netlist.Buf:
+		s.AddClause(out.Not(), fan[0])
+		s.AddClause(out, fan[0].Not())
+	case netlist.Not:
+		s.AddClause(out.Not(), fan[0].Not())
+		s.AddClause(out, fan[0])
+	case netlist.And, netlist.Nand:
+		o := out
+		if t == netlist.Nand {
+			o = out.Not()
+		}
+		all := make([]sat.Lit, 0, len(fan)+1)
+		for _, f := range fan {
+			s.AddClause(o.Not(), f)
+			all = append(all, f.Not())
+		}
+		s.AddClause(append(all, o)...)
+	case netlist.Or, netlist.Nor:
+		o := out
+		if t == netlist.Nor {
+			o = out.Not()
+		}
+		all := make([]sat.Lit, 0, len(fan)+1)
+		for _, f := range fan {
+			s.AddClause(o, f.Not())
+			all = append(all, f)
+		}
+		s.AddClause(append(all, o.Not())...)
+	case netlist.Xor, netlist.Xnor:
+		o := out
+		if t == netlist.Xnor {
+			o = out.Not()
+		}
+		acc := fan[0]
+		for i := 1; i < len(fan); i++ {
+			dst := o
+			if i != len(fan)-1 {
+				dst = sat.MkLit(s.NewVar(), false)
+			}
+			emitXor2(s, dst, acc, fan[i])
+			acc = dst
+		}
+		if len(fan) == 1 {
+			s.AddClause(o.Not(), fan[0])
+			s.AddClause(o, fan[0].Not())
+		}
+	default:
+		return fmt.Errorf("atpg: unsupported gate type %v", t)
+	}
+	return nil
+}
+
+func emitXor2(s *sat.Solver, d, a, b sat.Lit) {
+	s.AddClause(d.Not(), a, b)
+	s.AddClause(d.Not(), a.Not(), b.Not())
+	s.AddClause(d, a.Not(), b)
+	s.AddClause(d, a, b.Not())
+}
+
+// Summary aggregates a full ATPG campaign.
+type Summary struct {
+	Total     int
+	Detected  int
+	Redundant int
+	Aborted   int
+	// Patterns holds the generated test patterns (deduplicated runs may
+	// hold fewer than Detected).
+	Patterns [][]bool
+}
+
+// Coverage returns the stuck-at fault coverage in percent: detected over
+// total, the definition Table II reports.
+func (s Summary) Coverage() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected) / float64(s.Total)
+}
+
+// RedundantPlusAborted returns the paper's "# Red.+Abrt faults" column.
+func (s Summary) RedundantPlusAborted() int { return s.Redundant + s.Aborted }
+
+// Run performs the full Table II flow on a circuit: collapse the fault
+// list, drop the easy faults with `randomBlocks` blocks of random-pattern
+// fault simulation (the HOPE step), then target every remaining fault
+// with the SAT generator. Each generated pattern is fault-simulated with
+// dropping so later faults skip generation when already covered.
+func Run(c *netlist.Circuit, fsim *faultsim.Simulator, randomResult faultsim.Result, opts Options) (Summary, error) {
+	sum := Summary{Total: randomResult.Total, Detected: randomResult.Detected}
+	live := append([]faultsim.Fault(nil), randomResult.Remaining...)
+	for len(live) > 0 {
+		f := live[0]
+		live = live[1:]
+		out, err := Generate(c, f, opts)
+		if err != nil {
+			return sum, err
+		}
+		switch out.Class {
+		case Redundant:
+			sum.Redundant++
+		case Aborted:
+			sum.Aborted++
+		case Detected:
+			sum.Detected++
+			sum.Patterns = append(sum.Patterns, out.Pattern)
+			// Drop any other live fault the new pattern detects.
+			kept := live[:0]
+			for _, g := range live {
+				hit, err := fsim.DetectsWithPattern(g, out.Pattern)
+				if err != nil {
+					return sum, err
+				}
+				if hit {
+					sum.Detected++
+				} else {
+					kept = append(kept, g)
+				}
+			}
+			live = kept
+		}
+	}
+	return sum, nil
+}

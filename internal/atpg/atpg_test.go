@@ -1,0 +1,153 @@
+package atpg
+
+import (
+	"testing"
+
+	"orap/internal/circuits"
+	"orap/internal/faultsim"
+	"orap/internal/lock"
+	"orap/internal/netlist"
+	"orap/internal/rng"
+)
+
+func TestGenerateDetectsTestableFault(t *testing.T) {
+	c := circuits.C17()
+	sim, err := faultsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faultsim.CollapseFaults(c) {
+		out, err := Generate(c, f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Class != Detected {
+			t.Fatalf("fault %v classified %v; c17 has no redundant faults", f, out.Class)
+		}
+		hit, err := sim.DetectsWithPattern(f, out.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatalf("generated pattern %v does not detect %v", out.Pattern, f)
+		}
+	}
+}
+
+func TestGenerateProvesRedundancy(t *testing.T) {
+	// y = OR(a, AND(a, b)): AND-output s-a-0 is redundant (absorption).
+	c := netlist.New("red")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	and := c.MustAddGate(netlist.And, "and", a, b)
+	y := c.MustAddGate(netlist.Or, "y", a, and)
+	c.MarkOutput(y)
+	out, err := Generate(c, faultsim.Fault{Node: and, Pin: -1, SA1: false}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != Redundant {
+		t.Fatalf("absorbed fault classified %v, want redundant", out.Class)
+	}
+	// The same gate's s-a-1 is testable (a=0, b arbitrary → y flips).
+	out, err = Generate(c, faultsim.Fault{Node: and, Pin: -1, SA1: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != Detected {
+		t.Fatalf("testable fault classified %v", out.Class)
+	}
+}
+
+func TestGenerateUnobservableFault(t *testing.T) {
+	// A gate with no path to an output is structurally redundant.
+	c := netlist.New("dead")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	dead := c.MustAddGate(netlist.And, "dead", a, b)
+	y := c.MustAddGate(netlist.Or, "y", a, b)
+	c.MarkOutput(y)
+	out, err := Generate(c, faultsim.Fault{Node: dead, Pin: -1, SA1: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != Redundant {
+		t.Fatalf("unobservable fault classified %v", out.Class)
+	}
+}
+
+func TestRunFullFlowC17(t *testing.T) {
+	c := circuits.C17()
+	sim, err := faultsim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultsim.CollapseFaults(c)
+	// Deliberately weak random phase so ATPG has faults left to target.
+	rand := sim.RunRandom(faults, 1, rng.New(1))
+	sum, err := Run(c, sim, rand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Coverage() != 100 {
+		t.Fatalf("c17 coverage = %.2f%%, want 100%%", sum.Coverage())
+	}
+	if sum.RedundantPlusAborted() != 0 {
+		t.Fatalf("c17 red+abrt = %d, want 0", sum.RedundantPlusAborted())
+	}
+	if sum.Detected != sum.Total {
+		t.Fatalf("detected %d != total %d", sum.Detected, sum.Total)
+	}
+}
+
+func TestRunFlowOnLockedCircuitKeyInputsControllable(t *testing.T) {
+	// Table II's premise: with key inputs scannable, the locked circuit
+	// stays (at least) as testable as the original. On small circuits
+	// both reach full coverage.
+	orig := circuits.RippleAdder(4)
+	l, err := lock.Weighted(orig, lock.WeightedOptions{KeyBits: 6, ControlWidth: 3, KeyGates: 4, Rand: rng.New(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*netlist.Circuit{orig, l.Circuit} {
+		sim, err := faultsim.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := faultsim.CollapseFaults(c)
+		rand := sim.RunRandom(faults, 2, rng.New(3))
+		sum, err := Run(c, sim, rand, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Coverage() < 100 {
+			t.Fatalf("%s coverage = %.2f%% (red=%d abrt=%d)", c.Name, sum.Coverage(), sum.Redundant, sum.Aborted)
+		}
+	}
+}
+
+func TestAbortedOnTinyBudget(t *testing.T) {
+	// A wide parity cone with a 1-conflict budget should abort at least
+	// one fault (XOR cones admit no easy implications).
+	c := circuits.Parity(24)
+	faults := faultsim.CollapseFaults(c)
+	aborted := 0
+	for _, f := range faults[:8] {
+		out, err := Generate(c, f, Options{ConflictBudget: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Class == Aborted {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Skip("solver resolved all parity faults without conflicts; budget path not exercised")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Detected.String() != "detected" || Redundant.String() != "redundant" || Aborted.String() != "aborted" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package attack
+
+import (
+	"fmt"
+
+	"orap/internal/cnf"
+	"orap/internal/netlist"
+	"orap/internal/oracle"
+	"orap/internal/rng"
+	"orap/internal/sat"
+	"orap/internal/sim"
+)
+
+// AppSATOptions tunes the approximate SAT attack.
+type AppSATOptions struct {
+	Budgets
+	// RoundsPerSettle is the number of DIP rounds between settlement
+	// checks (default 8).
+	RoundsPerSettle int
+	// SettleSamples is the number of random queries per settlement check
+	// (default 64).
+	SettleSamples int
+	// ErrorThreshold is the disagreement fraction below which the attack
+	// settles and reports an approximate key (default 0, i.e. exact on
+	// the sampled set).
+	ErrorThreshold float64
+	// Rand drives the random settlement queries; required.
+	Rand *rng.Stream
+}
+
+// AppSAT runs the approximate SAT attack of Shamsi et al.: ordinary DIP
+// rounds interleaved with random-query settlement checks. When the
+// observed disagreement over a random sample drops to the threshold, the
+// attack stops early and reports the current candidate key, which for
+// point-function defenses (SARLock-style) is an approximate key that is
+// wrong on only a vanishing fraction of inputs. Random queries that
+// disagree are added as constraints, reinforcing convergence.
+func AppSAT(locked *netlist.Circuit, o oracle.Oracle, opts AppSATOptions) (*Result, error) {
+	if opts.Rand == nil {
+		return nil, fmt.Errorf("attack: AppSAT requires a random stream")
+	}
+	if opts.RoundsPerSettle <= 0 {
+		opts.RoundsPerSettle = 8
+	}
+	if opts.SettleSamples <= 0 {
+		opts.SettleSamples = 64
+	}
+	s := sat.New()
+	s.MaxConflicts = opts.MaxConflicts
+	m, err := cnf.NewMiter(s, locked)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	maxIter := opts.iterations(10000)
+
+	currentKey := func() ([]bool, error) {
+		satisfiable, err := s.Solve(m.AssumeNoDiff())
+		if err != nil {
+			return nil, err
+		}
+		if !satisfiable {
+			return nil, fmt.Errorf("attack: observations inconsistent with locked netlist")
+		}
+		return m.ExtractKey1(), nil
+	}
+
+	for {
+		if res.Iterations >= maxIter {
+			res.SolverStats = s.Stats()
+			return res, ErrIterationBudget
+		}
+		satisfiable, err := s.Solve(m.AssumeDiff())
+		if err != nil {
+			res.SolverStats = s.Stats()
+			return res, err
+		}
+		if !satisfiable {
+			// Exact convergence, as in the plain SAT attack.
+			key, err := currentKey()
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			if err != nil {
+				return res, err
+			}
+			res.Key = key
+			res.Converged = true
+			return res, nil
+		}
+		x := m.ExtractInputs()
+		y, err := o.Query(x)
+		if err != nil {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			return res, err
+		}
+		if err := m.AddIOConstraint(x, y); err != nil {
+			return res, err
+		}
+		res.Iterations++
+
+		if res.Iterations%opts.RoundsPerSettle != 0 {
+			continue
+		}
+		// Settlement: estimate error of the current candidate key on
+		// random queries, reinforcing each disagreement as a constraint.
+		key, err := currentKey()
+		if err != nil {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			return res, err
+		}
+		disagreements := 0
+		xr := make([]bool, locked.NumInputs())
+		for i := 0; i < opts.SettleSamples; i++ {
+			opts.Rand.Bits(xr)
+			want, err := o.Query(xr)
+			if err != nil {
+				res.SolverStats = s.Stats()
+				res.OracleQueries = o.Queries()
+				return res, err
+			}
+			got, err := sim.Eval(locked, xr, key)
+			if err != nil {
+				return res, err
+			}
+			diff := false
+			for j := range want {
+				if want[j] != got[j] {
+					diff = true
+					break
+				}
+			}
+			if diff {
+				disagreements++
+				if err := m.AddIOConstraint(append([]bool(nil), xr...), want); err != nil {
+					return res, err
+				}
+			}
+		}
+		if frac := float64(disagreements) / float64(opts.SettleSamples); frac <= opts.ErrorThreshold {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			res.Key = key
+			res.Converged = true
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package attack
+
+import (
+	"fmt"
+
+	"orap/internal/cnf"
+	"orap/internal/netlist"
+	"orap/internal/oracle"
+	"orap/internal/sat"
+)
+
+// DoubleDIP runs the Double-DIP attack: each iteration searches for an
+// input pattern that simultaneously distinguishes two *distinct* key pairs
+// (a "2-DIP"), so every query eliminates at least two wrong-key
+// equivalence classes. Like the published attack it *stops* when no 2-DIP
+// exists and extracts a key consistent with the observations: on compound
+// defenses (traditional locking + SARLock-style point function) the
+// traditional portion is fully resolved while the point-function tail —
+// which only ordinary one-key DIPs could drain, at one key per query — is
+// skipped, so the returned key is approximately correct (wrong on at most
+// a couple of input patterns) after exponentially fewer queries than the
+// plain SAT attack.
+func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, error) {
+	if o.NumInputs() != locked.NumInputs() || o.NumOutputs() != locked.NumOutputs() {
+		return nil, fmt.Errorf("attack: oracle shape mismatch")
+	}
+	s := sat.New()
+	s.MaxConflicts = b.MaxConflicts
+	// Two miters sharing the primary inputs: (k1,k2) and (k3,k4).
+	m1, err := cnf.NewMiter(s, locked)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := newMiterShared(s, locked, m1.PIVars)
+	if err != nil {
+		return nil, err
+	}
+	// Require the four key copies to be pairwise distinct across the two
+	// pairs (k1≠k3, k1≠k4, k2≠k3, k2≠k4; within-pair distinctness is
+	// implied by the output disequality). On a pure point-function
+	// defense both pairs would need a key equal to the input pattern,
+	// which distinctness forbids — hence no 2-DIP survives there.
+	actPair := s.NewVar()
+	for _, pair := range [][2][]sat.Var{
+		{m1.Key1, m2.Key1}, {m1.Key1, m2.Key2},
+		{m1.Key2, m2.Key1}, {m1.Key2, m2.Key2},
+	} {
+		diff := make([]sat.Lit, 0, len(pair[0])+1)
+		diff = append(diff, sat.MkLit(actPair, true))
+		for i := range pair[0] {
+			d := sat.MkLit(s.NewVar(), false)
+			addXor2(s, d, sat.MkLit(pair[0][i], false), sat.MkLit(pair[1][i], false))
+			diff = append(diff, d)
+		}
+		s.AddClause(diff...)
+	}
+
+	res := &Result{}
+	maxIter := b.iterations(10000)
+	record := func(x []bool) error {
+		y, err := o.Query(x)
+		if err != nil {
+			return err
+		}
+		if err := m1.AddIOConstraint(x, y); err != nil {
+			return err
+		}
+		return m2.AddIOConstraint(x, y)
+	}
+	for {
+		if res.Iterations >= maxIter {
+			res.SolverStats = s.Stats()
+			return res, ErrIterationBudget
+		}
+		// Phase 1: look for a 2-DIP (both miters differ, pairs distinct).
+		satisfiable, err := s.Solve(m1.AssumeDiff(), m2.AssumeDiff(), sat.MkLit(actPair, false))
+		if err != nil {
+			res.SolverStats = s.Stats()
+			return res, err
+		}
+		if !satisfiable {
+			break // no 2-DIP left: settle with a consistent key
+		}
+		if err := record(m1.ExtractInputs()); err != nil {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			return res, err
+		}
+		res.Iterations++
+	}
+	satisfiable, err := s.Solve(m1.AssumeNoDiff(), m2.AssumeNoDiff(), sat.MkLit(actPair, true))
+	res.SolverStats = s.Stats()
+	res.OracleQueries = o.Queries()
+	if err != nil {
+		return res, err
+	}
+	if !satisfiable {
+		return res, fmt.Errorf("attack: observations inconsistent with locked netlist (no candidate key)")
+	}
+	res.Key = m1.ExtractKey1()
+	res.Converged = true
+	return res, nil
+}
+
+// newMiterShared builds a miter whose primary inputs reuse existing
+// variables, for multi-miter formulations.
+func newMiterShared(s *sat.Solver, c *netlist.Circuit, piVars []sat.Var) (*cnf.Miter, error) {
+	a, err := cnf.Encode(s, c, cnf.Options{PIVars: piVars})
+	if err != nil {
+		return nil, err
+	}
+	bb, err := cnf.Encode(s, c, cnf.Options{PIVars: piVars})
+	if err != nil {
+		return nil, err
+	}
+	m := &cnf.Miter{
+		S:       s,
+		Circuit: c,
+		PIVars:  piVars,
+		Key1:    a.KeyVars,
+		Key2:    bb.KeyVars,
+		Out1:    a.POVars,
+		Out2:    bb.POVars,
+		Act:     s.NewVar(),
+	}
+	diffs := make([]sat.Lit, 0, len(a.POVars)+1)
+	diffs = append(diffs, sat.MkLit(m.Act, true))
+	for i := range a.POVars {
+		d := sat.MkLit(s.NewVar(), false)
+		addXor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(bb.POVars[i], false))
+		diffs = append(diffs, d)
+	}
+	s.AddClause(diffs...)
+	return m, nil
+}

@@ -1,0 +1,98 @@
+package attack
+
+import (
+	"fmt"
+
+	"orap/internal/cnf"
+	"orap/internal/netlist"
+	"orap/internal/oracle"
+	"orap/internal/sat"
+)
+
+// SAT runs the oracle-guided SAT attack: repeatedly solve the miter for a
+// distinguishing input pattern (DIP), query the oracle, and constrain both
+// key copies with the observation; when the miter becomes unsatisfiable,
+// every key consistent with the observations is functionally equivalent on
+// all inputs, and one such key is extracted.
+func SAT(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, error) {
+	if o.NumInputs() != locked.NumInputs() || o.NumOutputs() != locked.NumOutputs() {
+		return nil, fmt.Errorf("attack: oracle shape %d/%d does not match circuit %d/%d",
+			o.NumInputs(), o.NumOutputs(), locked.NumInputs(), locked.NumOutputs())
+	}
+	s := sat.New()
+	s.MaxConflicts = b.MaxConflicts
+	m, err := cnf.NewMiter(s, locked)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	maxIter := b.iterations(10000)
+	for {
+		satisfiable, err := s.Solve(m.AssumeDiff())
+		if err != nil {
+			res.SolverStats = s.Stats()
+			return res, err
+		}
+		if !satisfiable {
+			break // no more DIPs: keys consistent with observations are equivalent
+		}
+		if res.Iterations >= maxIter {
+			res.SolverStats = s.Stats()
+			return res, ErrIterationBudget
+		}
+		x := m.ExtractInputs()
+		y, err := o.Query(x)
+		if err != nil {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			return res, err
+		}
+		if err := m.AddIOConstraint(x, y); err != nil {
+			return res, err
+		}
+		res.Iterations++
+	}
+	// Extract a consistent key with the disequality disabled.
+	satisfiable, err := s.Solve(m.AssumeNoDiff())
+	res.SolverStats = s.Stats()
+	res.OracleQueries = o.Queries()
+	if err != nil {
+		return res, err
+	}
+	if !satisfiable {
+		// No key satisfies the observations: the "oracle" responses are
+		// inconsistent with the locked netlist's key space. This is the
+		// OraP signature when the protected chip answers queries with a
+		// cleared key register that the netlist models differently.
+		return res, fmt.Errorf("attack: observations inconsistent with locked netlist (no candidate key)")
+	}
+	res.Key = m.ExtractKey1()
+	res.Converged = true
+	return res, nil
+}
+
+// encodeLockedWithKey encodes one copy of a locked circuit with its key
+// inputs fixed to the given constants.
+func encodeLockedWithKey(s *sat.Solver, locked *netlist.Circuit, key []bool) (*cnf.Instance, error) {
+	inst, err := cnf.Encode(s, locked, cnf.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := cnf.ConstrainBits(s, inst.KeyVars, key); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// encodeShared encodes a circuit reusing the given primary-input variables.
+func encodeShared(s *sat.Solver, c *netlist.Circuit, piVars []sat.Var) (*cnf.Instance, error) {
+	return cnf.Encode(s, c, cnf.Options{PIVars: piVars})
+}
+
+// addXor2 emits d ↔ a ⊕ b.
+func addXor2(s *sat.Solver, d, a, b sat.Lit) {
+	s.AddClause(d.Not(), a, b)
+	s.AddClause(d.Not(), a.Not(), b.Not())
+	s.AddClause(d, a.Not(), b)
+	s.AddClause(d, a, b.Not())
+}

@@ -1,0 +1,356 @@
+// Package bench reads and writes circuits in the ISCAS/ITC ".bench" format.
+//
+// The format is line oriented:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//
+// Extensions honoured by this package, matching common logic-locking tool
+// conventions:
+//
+//   - Input names beginning with "keyinput" (case-insensitive) are recorded
+//     as key inputs of the resulting circuit, and key inputs are emitted
+//     with such names by Format.
+//   - "X = DFF(Y)" state elements are accepted and converted to the
+//     combinational part: X becomes a pseudo primary input and Y a pseudo
+//     primary output, which is the standard extraction used by the paper
+//     ("the combinational part of the largest ISCAS'89 and ITC'99
+//     benchmark circuits").
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"orap/internal/netlist"
+)
+
+// KeyInputPrefix marks input names that carry key bits.
+const KeyInputPrefix = "keyinput"
+
+type rawGate struct {
+	name  string
+	op    string
+	fanin []string
+	line  int
+}
+
+// Parse reads a .bench description and builds the combinational circuit.
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+
+	var (
+		inputs   []string
+		outputs  []string
+		gates    []rawGate
+		dffIn    []string // D pins: become pseudo outputs
+		dffOut   []string // Q pins: become pseudo inputs
+		lineno   int
+		declared = make(map[string]bool)
+	)
+
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case matchDirective(line, "INPUT"):
+			arg, err := directiveArg(line, "INPUT", lineno)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, arg)
+		case matchDirective(line, "OUTPUT"):
+			arg, err := directiveArg(line, "OUTPUT", lineno)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, arg)
+		default:
+			g, err := parseAssignment(line, lineno)
+			if err != nil {
+				return nil, err
+			}
+			if g.op == "DFF" {
+				if len(g.fanin) != 1 {
+					return nil, fmt.Errorf("bench:%d: DFF %q needs exactly one fanin", lineno, g.name)
+				}
+				dffOut = append(dffOut, g.name)
+				dffIn = append(dffIn, g.fanin[0])
+				continue
+			}
+			if declared[g.name] {
+				return nil, fmt.Errorf("bench:%d: signal %q defined twice", lineno, g.name)
+			}
+			declared[g.name] = true
+			gates = append(gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %w", err)
+	}
+
+	c := netlist.New(name)
+	// Declare inputs (functional, then DFF pseudo-inputs), detecting keys.
+	for _, in := range inputs {
+		var err error
+		if strings.HasPrefix(strings.ToLower(in), KeyInputPrefix) {
+			_, err = c.AddKeyInput(in)
+		} else {
+			_, err = c.AddInput(in)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
+	for _, q := range dffOut {
+		if _, err := c.AddInput(q); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
+
+	// Build gates iteratively: repeatedly add gates whose fanins exist.
+	// .bench files commonly list gates in arbitrary order.
+	pending := gates
+	for len(pending) > 0 {
+		progress := false
+		var next []rawGate
+		for _, g := range pending {
+			ready := true
+			for _, f := range g.fanin {
+				if _, ok := c.NodeByName(f); !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			if err := addGate(c, g); err != nil {
+				return nil, err
+			}
+			progress = true
+		}
+		if !progress {
+			missing := map[string]bool{}
+			for _, g := range next {
+				for _, f := range g.fanin {
+					if _, ok := c.NodeByName(f); !ok {
+						missing[f] = true
+					}
+				}
+			}
+			names := make([]string, 0, len(missing))
+			for n := range missing {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("bench: undefined or cyclic signals: %s", strings.Join(names, ", "))
+		}
+		pending = next
+	}
+
+	// Declare outputs (functional, then DFF pseudo-outputs).
+	for _, out := range append(append([]string(nil), outputs...), dffIn...) {
+		id, ok := c.NodeByName(out)
+		if !ok {
+			return nil, fmt.Errorf("bench: output %q is never defined", out)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString is Parse over an in-memory description.
+func ParseString(s, name string) (*netlist.Circuit, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+func matchDirective(line, dir string) bool {
+	u := strings.ToUpper(line)
+	return strings.HasPrefix(u, dir+"(") || strings.HasPrefix(u, dir+" ")
+}
+
+// validName reports whether a signal name can be emitted and reparsed
+// unambiguously: no bench syntax characters, and not a directive keyword.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	if strings.ContainsAny(name, " \t(),=#") {
+		return false
+	}
+	switch strings.ToUpper(name) {
+	case "INPUT", "OUTPUT":
+		return false
+	}
+	return true
+}
+
+func directiveArg(line, dir string, lineno int) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("bench:%d: malformed %s directive %q", lineno, dir, line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if !validName(arg) {
+		return "", fmt.Errorf("bench:%d: invalid signal name %q in %s directive", lineno, arg, dir)
+	}
+	return arg, nil
+}
+
+func parseAssignment(line string, lineno int) (rawGate, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return rawGate{}, fmt.Errorf("bench:%d: expected assignment, got %q", lineno, line)
+	}
+	name := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close < open {
+		return rawGate{}, fmt.Errorf("bench:%d: malformed gate expression %q", lineno, rhs)
+	}
+	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	var fanin []string
+	for _, part := range strings.Split(rhs[open+1:close], ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			fanin = append(fanin, part)
+		}
+	}
+	if !validName(name) || op == "" {
+		return rawGate{}, fmt.Errorf("bench:%d: malformed assignment %q", lineno, line)
+	}
+	for _, f := range fanin {
+		if !validName(f) {
+			return rawGate{}, fmt.Errorf("bench:%d: invalid fanin name %q", lineno, f)
+		}
+	}
+	return rawGate{name: name, op: op, fanin: fanin, line: lineno}, nil
+}
+
+var opToType = map[string]netlist.GateType{
+	"AND":  netlist.And,
+	"NAND": netlist.Nand,
+	"OR":   netlist.Or,
+	"NOR":  netlist.Nor,
+	"XOR":  netlist.Xor,
+	"XNOR": netlist.Xnor,
+	"NOT":  netlist.Not,
+	"INV":  netlist.Not,
+	"BUF":  netlist.Buf,
+	"BUFF": netlist.Buf,
+}
+
+func addGate(c *netlist.Circuit, g rawGate) error {
+	t, ok := opToType[g.op]
+	if !ok {
+		switch g.op {
+		case "CONST0", "GND":
+			_, err := c.AddConst(false, g.name)
+			return err
+		case "CONST1", "VDD":
+			_, err := c.AddConst(true, g.name)
+			return err
+		}
+		return fmt.Errorf("bench:%d: unknown operator %q", g.line, g.op)
+	}
+	ids := make([]int, len(g.fanin))
+	for i, f := range g.fanin {
+		id, ok := c.NodeByName(f)
+		if !ok {
+			return fmt.Errorf("bench:%d: gate %q references undefined signal %q", g.line, g.name, f)
+		}
+		ids[i] = id
+	}
+	// Tolerate single-input AND/OR/etc. (some generators emit them) by
+	// lowering to BUF, and single-input NAND/NOR/XNOR to NOT.
+	if len(ids) == 1 && t != netlist.Buf && t != netlist.Not {
+		if t.Inverting() {
+			t = netlist.Not
+		} else {
+			t = netlist.Buf
+		}
+	}
+	_, err := c.AddGate(t, g.name, ids...)
+	if err != nil {
+		return fmt.Errorf("bench:%d: %w", g.line, err)
+	}
+	return nil
+}
+
+// Format writes the circuit in .bench syntax. Key inputs are emitted before
+// regular inputs only if they were declared first; declaration order is
+// preserved. Unnamed nodes — and nodes whose names would be ambiguous in
+// bench syntax (directive keywords, delimiter characters) — receive
+// synthetic names, applied consistently across declarations and fanins.
+func Format(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	nameOf := func(id int) string {
+		if n := c.NameOf(id); validName(n) {
+			return n
+		}
+		return fmt.Sprintf("n%d_", id)
+	}
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d key inputs, %d outputs, %d gates\n",
+		c.NumInputs(), c.NumKeys(), c.NumOutputs(), c.GateCount())
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", nameOf(id))
+	}
+	for _, id := range c.Keys {
+		fmt.Fprintf(bw, "INPUT(%s)\n", nameOf(id))
+	}
+	for _, id := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", nameOf(id))
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		g := c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			continue
+		case netlist.Const0:
+			fmt.Fprintf(bw, "%s = CONST0()\n", nameOf(id))
+			continue
+		case netlist.Const1:
+			fmt.Fprintf(bw, "%s = CONST1()\n", nameOf(id))
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = nameOf(f)
+		}
+		op := strings.ToUpper(g.Type.String())
+		fmt.Fprintf(bw, "%s = %s(%s)\n", nameOf(id), op, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// FormatString renders the circuit to a .bench string.
+func FormatString(c *netlist.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Format(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,136 @@
+// Package circuits provides small, well-known reference circuits used by
+// tests, examples and documentation: the ISCAS'85 c17 benchmark, a ripple
+// full adder, a 4-bit comparator and a parity tree. These are real,
+// hand-checked netlists (not generated), so tests can assert exact
+// functional behaviour.
+package circuits
+
+import (
+	"fmt"
+
+	"orap/internal/bench"
+	"orap/internal/netlist"
+)
+
+// C17Bench is the ISCAS'85 c17 benchmark in .bench syntax: 5 inputs,
+// 2 outputs, 6 NAND2 gates.
+const C17Bench = `# c17 (ISCAS'85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// C17 returns the ISCAS'85 c17 benchmark circuit.
+func C17() *netlist.Circuit {
+	c, err := bench.ParseString(C17Bench, "c17")
+	if err != nil {
+		panic(fmt.Sprintf("circuits: c17 failed to parse: %v", err))
+	}
+	return c
+}
+
+// FullAdder returns a 1-bit full adder: inputs a, b, cin; outputs sum, cout.
+func FullAdder() *netlist.Circuit {
+	c := netlist.New("fulladder")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	cin, _ := c.AddInput("cin")
+	axb := c.MustAddGate(netlist.Xor, "axb", a, b)
+	sum := c.MustAddGate(netlist.Xor, "sum", axb, cin)
+	ab := c.MustAddGate(netlist.And, "ab", a, b)
+	axbc := c.MustAddGate(netlist.And, "axbc", axb, cin)
+	cout := c.MustAddGate(netlist.Or, "cout", ab, axbc)
+	c.MarkOutput(sum)
+	c.MarkOutput(cout)
+	return c
+}
+
+// RippleAdder returns an n-bit ripple-carry adder with inputs a0..a(n-1),
+// b0..b(n-1), cin and outputs s0..s(n-1), cout.
+func RippleAdder(n int) *netlist.Circuit {
+	c := netlist.New(fmt.Sprintf("ripple%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i], _ = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i], _ = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry, _ := c.AddInput("cin")
+	for i := 0; i < n; i++ {
+		axb := c.MustAddGate(netlist.Xor, fmt.Sprintf("axb%d", i), as[i], bs[i])
+		sum := c.MustAddGate(netlist.Xor, fmt.Sprintf("s%d", i), axb, carry)
+		ab := c.MustAddGate(netlist.And, fmt.Sprintf("ab%d", i), as[i], bs[i])
+		ac := c.MustAddGate(netlist.And, fmt.Sprintf("ac%d", i), axb, carry)
+		carry = c.MustAddGate(netlist.Or, fmt.Sprintf("c%d", i+1), ab, ac)
+		c.MarkOutput(sum)
+	}
+	c.Rename(carry, "cout")
+	c.MarkOutput(carry)
+	return c
+}
+
+// Parity returns an n-input parity (XOR) tree with a single output "p".
+func Parity(n int) *netlist.Circuit {
+	if n < 2 {
+		panic("circuits: Parity needs at least 2 inputs")
+	}
+	c := netlist.New(fmt.Sprintf("parity%d", n))
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i], _ = c.AddInput(fmt.Sprintf("x%d", i))
+	}
+	for len(ids) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ids); i += 2 {
+			next = append(next, c.MustAddGate(netlist.Xor, "", ids[i], ids[i+1]))
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	c.Rename(ids[0], "p")
+	c.MarkOutput(ids[0])
+	return c
+}
+
+// Comparator4 returns a 4-bit equality comparator: output eq is 1 iff
+// a3..a0 equals b3..b0.
+func Comparator4() *netlist.Circuit {
+	c := netlist.New("cmp4")
+	var eqs []int
+	for i := 0; i < 4; i++ {
+		a, _ := c.AddInput(fmt.Sprintf("a%d", i))
+		b, _ := c.AddInput(fmt.Sprintf("b%d", i))
+		eqs = append(eqs, c.MustAddGate(netlist.Xnor, fmt.Sprintf("eq%d", i), a, b))
+	}
+	out := c.MustAddGate(netlist.And, "eq", eqs[0], eqs[1], eqs[2], eqs[3])
+	c.MarkOutput(out)
+	return c
+}
+
+// Mux21 returns a 2:1 multiplexer: out = s ? b : a, built from basic gates.
+func Mux21() *netlist.Circuit {
+	c := netlist.New("mux21")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	s, _ := c.AddInput("s")
+	ns := c.MustAddGate(netlist.Not, "ns", s)
+	t0 := c.MustAddGate(netlist.And, "t0", a, ns)
+	t1 := c.MustAddGate(netlist.And, "t1", b, s)
+	out := c.MustAddGate(netlist.Or, "out", t0, t1)
+	c.MarkOutput(out)
+	return c
+}

@@ -1,0 +1,317 @@
+// Package cnf translates gate-level circuits into CNF via the Tseitin
+// transformation and builds the miter circuits used by oracle-guided
+// attacks.
+//
+// The SAT attack encodes two copies of the locked netlist that share their
+// primary inputs but carry independent key variables, plus a disequality
+// (miter) constraint over the outputs; each oracle query then adds two
+// more copies with the inputs fixed to the distinguishing pattern and the
+// outputs fixed to the oracle's response. All of those encodings are
+// provided here so the attack packages stay free of clause-level detail.
+package cnf
+
+import (
+	"fmt"
+
+	"orap/internal/netlist"
+	"orap/internal/sat"
+)
+
+// Instance is one CNF copy of a circuit inside a solver: the variable
+// assigned to every netlist node.
+type Instance struct {
+	// NodeVar maps node ID to its SAT variable.
+	NodeVar []sat.Var
+	// PIVars, KeyVars and POVars are the variables of the circuit's
+	// primary inputs, key inputs and primary outputs, in declaration
+	// order (they alias entries of NodeVar).
+	PIVars  []sat.Var
+	KeyVars []sat.Var
+	POVars  []sat.Var
+}
+
+// Options controls variable sharing between encoded copies.
+type Options struct {
+	// PIVars, when non-nil, reuses these variables for the primary
+	// inputs instead of allocating fresh ones (for input sharing between
+	// miter halves). Length must equal the circuit's PI count.
+	PIVars []sat.Var
+	// KeyVars, when non-nil, reuses these variables for the key inputs.
+	KeyVars []sat.Var
+	// FixedPIs, when non-nil, constrains the primary inputs to the given
+	// constant bits with unit clauses. Length must equal the PI count.
+	// May be combined with PIVars (the shared variables get the units).
+	FixedPIs []bool
+}
+
+// Encode adds one Tseitin copy of c to the solver and returns the variable
+// mapping.
+func Encode(s *sat.Solver, c *netlist.Circuit, opts Options) (*Instance, error) {
+	if opts.PIVars != nil && len(opts.PIVars) != c.NumInputs() {
+		return nil, fmt.Errorf("cnf: %d shared PI vars for %d inputs", len(opts.PIVars), c.NumInputs())
+	}
+	if opts.KeyVars != nil && len(opts.KeyVars) != c.NumKeys() {
+		return nil, fmt.Errorf("cnf: %d shared key vars for %d key inputs", len(opts.KeyVars), c.NumKeys())
+	}
+	if opts.FixedPIs != nil && len(opts.FixedPIs) != c.NumInputs() {
+		return nil, fmt.Errorf("cnf: %d fixed PI bits for %d inputs", len(opts.FixedPIs), c.NumInputs())
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	inst := &Instance{NodeVar: make([]sat.Var, c.NumNodes())}
+	for i := range inst.NodeVar {
+		inst.NodeVar[i] = -1
+	}
+	// Assign input variables first (shared or fresh).
+	for i, id := range c.PIs {
+		if opts.PIVars != nil {
+			inst.NodeVar[id] = opts.PIVars[i]
+		} else {
+			inst.NodeVar[id] = s.NewVar()
+		}
+	}
+	for i, id := range c.Keys {
+		if opts.KeyVars != nil {
+			inst.NodeVar[id] = opts.KeyVars[i]
+		} else {
+			inst.NodeVar[id] = s.NewVar()
+		}
+	}
+
+	for _, id := range order {
+		g := &c.Gates[id]
+		if g.Type == netlist.Input {
+			if inst.NodeVar[id] < 0 {
+				return nil, fmt.Errorf("cnf: input node %d not in PI/key lists", id)
+			}
+			continue
+		}
+		v := s.NewVar()
+		inst.NodeVar[id] = v
+		fan := make([]sat.Lit, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fan[i] = sat.MkLit(inst.NodeVar[f], false)
+		}
+		if err := encodeGate(s, g.Type, sat.MkLit(v, false), fan); err != nil {
+			return nil, fmt.Errorf("cnf: node %d: %w", id, err)
+		}
+	}
+
+	inst.PIVars = make([]sat.Var, len(c.PIs))
+	for i, id := range c.PIs {
+		inst.PIVars[i] = inst.NodeVar[id]
+	}
+	inst.KeyVars = make([]sat.Var, len(c.Keys))
+	for i, id := range c.Keys {
+		inst.KeyVars[i] = inst.NodeVar[id]
+	}
+	inst.POVars = make([]sat.Var, len(c.POs))
+	for i, id := range c.POs {
+		inst.POVars[i] = inst.NodeVar[id]
+	}
+
+	if opts.FixedPIs != nil {
+		for i, b := range opts.FixedPIs {
+			s.AddClause(sat.MkLit(inst.PIVars[i], !b))
+		}
+	}
+	return inst, nil
+}
+
+// encodeGate emits the Tseitin clauses for out ↔ type(fan...).
+func encodeGate(s *sat.Solver, t netlist.GateType, out sat.Lit, fan []sat.Lit) error {
+	switch t {
+	case netlist.Const0:
+		s.AddClause(out.Not())
+	case netlist.Const1:
+		s.AddClause(out)
+	case netlist.Buf:
+		equiv(s, out, fan[0])
+	case netlist.Not:
+		equiv(s, out, fan[0].Not())
+	case netlist.And:
+		andGate(s, out, fan)
+	case netlist.Nand:
+		andGate(s, out.Not(), fan)
+	case netlist.Or:
+		orGate(s, out, fan)
+	case netlist.Nor:
+		orGate(s, out.Not(), fan)
+	case netlist.Xor:
+		xorChain(s, out, fan)
+	case netlist.Xnor:
+		xorChain(s, out.Not(), fan)
+	default:
+		return fmt.Errorf("unsupported gate type %v", t)
+	}
+	return nil
+}
+
+// equiv emits out ↔ a.
+func equiv(s *sat.Solver, out, a sat.Lit) {
+	s.AddClause(out.Not(), a)
+	s.AddClause(out, a.Not())
+}
+
+// andGate emits out ↔ AND(fan...).
+func andGate(s *sat.Solver, out sat.Lit, fan []sat.Lit) {
+	all := make([]sat.Lit, 0, len(fan)+1)
+	for _, f := range fan {
+		s.AddClause(out.Not(), f) // out → f
+		all = append(all, f.Not())
+	}
+	all = append(all, out)
+	s.AddClause(all...) // ∧f → out
+}
+
+// orGate emits out ↔ OR(fan...).
+func orGate(s *sat.Solver, out sat.Lit, fan []sat.Lit) {
+	all := make([]sat.Lit, 0, len(fan)+1)
+	for _, f := range fan {
+		s.AddClause(out, f.Not()) // f → out
+		all = append(all, f)
+	}
+	all = append(all, out.Not())
+	s.AddClause(all...) // out → ∨f
+}
+
+// xor2 emits out ↔ a ⊕ b.
+func xor2(s *sat.Solver, out, a, b sat.Lit) {
+	s.AddClause(out.Not(), a, b)
+	s.AddClause(out.Not(), a.Not(), b.Not())
+	s.AddClause(out, a.Not(), b)
+	s.AddClause(out, a, b.Not())
+}
+
+// xorChain emits out ↔ fan[0] ⊕ fan[1] ⊕ … using auxiliary variables for
+// arity above two.
+func xorChain(s *sat.Solver, out sat.Lit, fan []sat.Lit) {
+	acc := fan[0]
+	for i := 1; i < len(fan); i++ {
+		var dst sat.Lit
+		if i == len(fan)-1 {
+			dst = out
+		} else {
+			dst = sat.MkLit(s.NewVar(), false)
+		}
+		xor2(s, dst, acc, fan[i])
+		acc = dst
+	}
+	if len(fan) == 1 {
+		equiv(s, out, fan[0])
+	}
+}
+
+// ConstrainBits adds unit clauses forcing each variable to the given bit.
+func ConstrainBits(s *sat.Solver, vars []sat.Var, bits []bool) error {
+	if len(vars) != len(bits) {
+		return fmt.Errorf("cnf: %d vars vs %d bits", len(vars), len(bits))
+	}
+	for i, v := range vars {
+		s.AddClause(sat.MkLit(v, !bits[i]))
+	}
+	return nil
+}
+
+// Miter is the SAT-attack formulation: two copies of a locked circuit that
+// share primary inputs but have independent keys K1 and K2, with a
+// constraint that at least one output differs.
+type Miter struct {
+	S       *sat.Solver
+	Circuit *netlist.Circuit
+	PIVars  []sat.Var
+	Key1    []sat.Var
+	Key2    []sat.Var
+	Out1    []sat.Var
+	Out2    []sat.Var
+	// Act is an activation variable guarding the output-disequality
+	// clause: solve under assumption Act=true to search for a
+	// distinguishing input, and under Act=false to extract a key that is
+	// merely consistent with all recorded observations.
+	Act sat.Var
+}
+
+// AssumeDiff returns the assumption literal enabling the disequality.
+func (m *Miter) AssumeDiff() sat.Lit { return sat.MkLit(m.Act, false) }
+
+// AssumeNoDiff returns the assumption literal disabling the disequality,
+// used for final key extraction.
+func (m *Miter) AssumeNoDiff() sat.Lit { return sat.MkLit(m.Act, true) }
+
+// NewMiter encodes the miter for the locked circuit c into a fresh
+// configuration on solver s and asserts output disequality.
+func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
+	if c.NumKeys() == 0 {
+		return nil, fmt.Errorf("cnf: miter over circuit %q with no key inputs", c.Name)
+	}
+	a, err := Encode(s, c, Options{})
+	if err != nil {
+		return nil, err
+	}
+	b, err := Encode(s, c, Options{PIVars: a.PIVars})
+	if err != nil {
+		return nil, err
+	}
+	m := &Miter{
+		S:       s,
+		Circuit: c,
+		PIVars:  a.PIVars,
+		Key1:    a.KeyVars,
+		Key2:    b.KeyVars,
+		Out1:    a.POVars,
+		Out2:    b.POVars,
+	}
+	// diff_i ↔ out1_i ⊕ out2_i; assert act → OR(diff_i).
+	m.Act = s.NewVar()
+	diffs := make([]sat.Lit, 0, len(a.POVars)+1)
+	diffs = append(diffs, sat.MkLit(m.Act, true))
+	for i := range a.POVars {
+		d := sat.MkLit(s.NewVar(), false)
+		xor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(b.POVars[i], false))
+		diffs = append(diffs, d)
+	}
+	s.AddClause(diffs...)
+	return m, nil
+}
+
+// AddIOConstraint records an oracle observation: for input pattern x with
+// oracle response y, both key copies must reproduce y on x. Two fresh
+// circuit copies (with constant inputs) are encoded per call.
+func (m *Miter) AddIOConstraint(x, y []bool) error {
+	for _, keys := range [][]sat.Var{m.Key1, m.Key2} {
+		inst, err := Encode(m.S, m.Circuit, Options{KeyVars: keys, FixedPIs: x})
+		if err != nil {
+			return err
+		}
+		if err := ConstrainBits(m.S, inst.POVars, y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtractInputs reads the shared primary-input pattern from the last model.
+func (m *Miter) ExtractInputs() []bool {
+	x := make([]bool, len(m.PIVars))
+	for i, v := range m.PIVars {
+		x[i] = m.S.Value(v) == sat.True
+	}
+	return x
+}
+
+// ExtractKey1 reads key copy 1 from the last model.
+func (m *Miter) ExtractKey1() []bool { return extract(m.S, m.Key1) }
+
+// ExtractKey2 reads key copy 2 from the last model.
+func (m *Miter) ExtractKey2() []bool { return extract(m.S, m.Key2) }
+
+func extract(s *sat.Solver, vars []sat.Var) []bool {
+	out := make([]bool, len(vars))
+	for i, v := range vars {
+		out[i] = s.Value(v) == sat.True
+	}
+	return out
+}

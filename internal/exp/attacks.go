@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+
+	"orap/internal/attack"
+	"orap/internal/benchgen"
+	"orap/internal/lock"
+	"orap/internal/oracle"
+	"orap/internal/orap"
+	"orap/internal/rng"
+	"orap/internal/scan"
+)
+
+// AttackRow is one line of the oracle-protection study (the executable
+// form of the paper's Section II-A security analysis): an oracle-guided
+// attack against the same locked circuit through an unprotected scan
+// chain versus through the OraP-gated one.
+type AttackRow struct {
+	Attack     string
+	Protection string
+	// Converged reports the attack's own termination criterion.
+	Converged bool
+	// KeyCorrect reports functional equivalence of the recovered key.
+	KeyCorrect bool
+	// Disagreement is the sampled error rate of the recovered key vs the
+	// true function (1.0 when no key was produced).
+	Disagreement float64
+	Iterations   int
+	Queries      int
+	// Note carries failure detail (e.g. inconsistent observations).
+	Note string
+}
+
+// AttackStudyOptions configures the attack comparison.
+type AttackStudyOptions struct {
+	// Scale shrinks the circuit (1.0 = the paper-scale b20 profile; the
+	// study defaults to a small slice because SAT attacks on full-size
+	// circuits with hundreds of key bits do not terminate by design).
+	Scale float64
+	// KeyBits for the weighted locking layer (default 16).
+	KeyBits int
+	// Budgets bounds each attack.
+	Budgets attack.Budgets
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// AttackStudy locks one benchmark with weighted logic locking and runs
+// the SAT, Double DIP, AppSAT, and hill-climbing attacks twice each:
+// against a conventional chip (scan.None — the assumption every
+// oracle-based attack makes) and against the OraP-protected chip. The
+// expected shape, and the paper's core claim: every attack recovers a
+// correct key through the unprotected scan chain and fails (converges to
+// a locked-circuit key with high disagreement) against OraP.
+func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
+	if opts.Scale <= 0 || opts.Scale > 1 {
+		opts.Scale = 0.004
+	}
+	if opts.KeyBits <= 0 {
+		opts.KeyBits = 16
+	}
+	if opts.Budgets.MaxIterations == 0 {
+		opts.Budgets.MaxIterations = 2000
+	}
+	prof, err := benchgen.ProfileByName("b20")
+	if err != nil {
+		return nil, err
+	}
+	scaled := prof.Scale(opts.Scale)
+	circuit, err := benchgen.Generate(scaled, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	l, err := lock.Weighted(circuit, lock.WeightedOptions{
+		KeyBits:      opts.KeyBits,
+		ControlWidth: 3,
+		KeyGates:     opts.KeyBits,
+		Rand:         rng.NewNamed(opts.Seed, "attacks/lock"),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type attackFn struct {
+		name string
+		run  func(o oracle.Oracle, seed uint64) (*attack.Result, error)
+	}
+	attacks := []attackFn{
+		{"SAT", func(o oracle.Oracle, seed uint64) (*attack.Result, error) {
+			return attack.SAT(l.Circuit, o, opts.Budgets)
+		}},
+		{"DoubleDIP", func(o oracle.Oracle, seed uint64) (*attack.Result, error) {
+			return attack.DoubleDIP(l.Circuit, o, opts.Budgets)
+		}},
+		{"AppSAT", func(o oracle.Oracle, seed uint64) (*attack.Result, error) {
+			return attack.AppSAT(l.Circuit, o, attack.AppSATOptions{
+				Budgets: opts.Budgets,
+				Rand:    rng.NewNamed(seed, "attacks/appsat"),
+			})
+		}},
+		{"HillClimb", func(o oracle.Oracle, seed uint64) (*attack.Result, error) {
+			return attack.HillClimb(l.Circuit, o, attack.HillOptions{
+				Patterns: 512,
+				Restarts: 12,
+				Rand:     rng.NewNamed(seed, "attacks/hill"),
+			})
+		}},
+	}
+
+	var rows []AttackRow
+	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic} {
+		for _, a := range attacks {
+			o, err := newScanOracle(l, scaled, prot, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1}
+			res, err := a.run(o, opts.Seed)
+			if err != nil {
+				row.Note = err.Error()
+				if res != nil {
+					row.Iterations = res.Iterations
+					row.Queries = res.OracleQueries
+				}
+				rows = append(rows, row)
+				continue
+			}
+			row.Converged = res.Converged
+			row.Iterations = res.Iterations
+			row.Queries = res.OracleQueries
+			if res.Key != nil {
+				ok, err := attack.VerifyKey(l.Circuit, circuit, res.Key)
+				if err != nil {
+					return nil, err
+				}
+				row.KeyCorrect = ok
+				ref, err := oracle.NewComb(circuit, nil)
+				if err != nil {
+					return nil, err
+				}
+				dis, err := attack.SampleDisagreement(l.Circuit, res.Key, ref, 256,
+					rng.NewNamed(opts.Seed, "attacks/disagree"))
+				if err != nil {
+					return nil, err
+				}
+				row.Disagreement = dis
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// newScanOracle builds a fresh activated chip for the locked circuit and
+// wraps it in the scan-protocol oracle.
+func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) (oracle.Oracle, error) {
+	cfg, err := orap.Protect(l.Circuit, l.Key, prof.Pins, prof.PinOuts, prot, orap.Options{
+		Rand: rng.NewNamed(seed, "attacks/orap"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ch, err := scan.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.Unlock(nil); err != nil {
+		return nil, err
+	}
+	return oracle.NewScan(ch), nil
+}
+
+// FormatAttackStudy renders the attack comparison.
+func FormatAttackStudy(rows []AttackRow) string {
+	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Note"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Attack,
+			r.Protection,
+			fmt.Sprint(r.Converged),
+			fmt.Sprint(r.KeyCorrect),
+			fmt.Sprintf("%.3f", r.Disagreement),
+			fmt.Sprint(r.Iterations),
+			fmt.Sprint(r.Queries),
+			r.Note,
+		})
+	}
+	return FormatTable(header, cells)
+}

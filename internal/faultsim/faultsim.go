@@ -1,0 +1,398 @@
+// Package faultsim is a 64-way parallel-pattern stuck-at fault simulator
+// with fault dropping, playing the role HOPE plays in the paper's Table II
+// flow: random patterns first knock out the easily detected faults, so
+// deterministic ATPG only handles the hard remainder.
+//
+// Faults live on gate outputs and gate input pins. Simulation is
+// parallel-pattern single-fault propagation (PPSFP): the good circuit is
+// evaluated once per 64-pattern block, then each live fault is injected
+// and its effect propagated event-wise through its fanout cone only.
+package faultsim
+
+import (
+	"fmt"
+
+	"orap/internal/netlist"
+	"orap/internal/rng"
+	"orap/internal/sim"
+)
+
+// Fault is a single stuck-at fault.
+type Fault struct {
+	// Node is the gate whose output (Pin == -1) or input pin (Pin >= 0,
+	// an index into the gate's fanin) is stuck.
+	Node int
+	// Pin selects the faulty connection: -1 for the gate output,
+	// otherwise the fanin position.
+	Pin int
+	// SA1 selects stuck-at-1 (true) or stuck-at-0 (false).
+	SA1 bool
+}
+
+// String renders the fault in the conventional "node[/pin] s-a-v" form.
+func (f Fault) String() string {
+	v := 0
+	if f.SA1 {
+		v = 1
+	}
+	if f.Pin < 0 {
+		return fmt.Sprintf("n%d s-a-%d", f.Node, v)
+	}
+	return fmt.Sprintf("n%d.in%d s-a-%d", f.Node, f.Pin, v)
+}
+
+// AllFaults enumerates the uncollapsed fault universe: two faults per gate
+// output (for nodes with observers or marked as outputs) and two per gate
+// input pin.
+func AllFaults(c *netlist.Circuit) []Fault {
+	fanout := c.FanoutLists()
+	isPO := make([]bool, c.NumNodes())
+	for _, o := range c.POs {
+		isPO[o] = true
+	}
+	var faults []Fault
+	for id, g := range c.Gates {
+		if g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+			continue
+		}
+		if len(fanout[id]) > 0 || isPO[id] {
+			faults = append(faults, Fault{Node: id, Pin: -1, SA1: false}, Fault{Node: id, Pin: -1, SA1: true})
+		}
+		for pin := range g.Fanin {
+			faults = append(faults, Fault{Node: id, Pin: pin, SA1: false}, Fault{Node: id, Pin: pin, SA1: true})
+		}
+	}
+	return faults
+}
+
+// CollapseFaults returns a reduced fault list using standard structural
+// equivalences: an input pin stuck at the gate's controlling value is
+// equivalent to the output stuck at the controlled value, and inverter /
+// buffer input faults are equivalent to (possibly inverted) output faults.
+// Dominance is not used, so coverage numbers remain exact.
+func CollapseFaults(c *netlist.Circuit) []Fault {
+	var faults []Fault
+	fanout := c.FanoutLists()
+	isPO := make([]bool, c.NumNodes())
+	for _, o := range c.POs {
+		isPO[o] = true
+	}
+	for id, g := range c.Gates {
+		if g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+			continue
+		}
+		observed := len(fanout[id]) > 0 || isPO[id]
+		if observed {
+			faults = append(faults, Fault{Node: id, Pin: -1, SA1: false}, Fault{Node: id, Pin: -1, SA1: true})
+		}
+		switch g.Type {
+		case netlist.Buf, netlist.Not:
+			// Input faults equivalent to output faults: skip.
+		case netlist.And, netlist.Nand:
+			// Input s-a-0 forces the AND term: equivalent to output
+			// s-a-0 (AND) / s-a-1 (NAND). Keep only input s-a-1.
+			for pin := range g.Fanin {
+				faults = append(faults, Fault{Node: id, Pin: pin, SA1: true})
+			}
+		case netlist.Or, netlist.Nor:
+			// Input s-a-1 collapses; keep input s-a-0.
+			for pin := range g.Fanin {
+				faults = append(faults, Fault{Node: id, Pin: pin, SA1: false})
+			}
+		case netlist.Xor, netlist.Xnor:
+			// No controlling value: keep both input fault polarities.
+			for pin := range g.Fanin {
+				faults = append(faults, Fault{Node: id, Pin: pin, SA1: false}, Fault{Node: id, Pin: pin, SA1: true})
+			}
+		}
+	}
+	return faults
+}
+
+// Simulator runs parallel-pattern fault simulation over a fixed circuit.
+type Simulator struct {
+	c      *netlist.Circuit
+	par    *sim.Parallel
+	order  []int
+	pos    []int // node -> position in topological order
+	fanout [][]int
+
+	// Per-run scratch, epoch-stamped to avoid clearing.
+	faulty    []uint64
+	stamp     []int
+	seenStamp []int
+	epoch     int
+	heap      posHeap
+
+	isPO []bool
+}
+
+// New builds a fault simulator with one 64-pattern word per node.
+func New(c *netlist.Circuit) (*Simulator, error) {
+	par, err := sim.NewParallel(c, 1)
+	if err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, c.NumNodes())
+	for i, id := range order {
+		pos[id] = i
+	}
+	isPO := make([]bool, c.NumNodes())
+	for _, o := range c.POs {
+		isPO[o] = true
+	}
+	s := &Simulator{
+		c:         c,
+		par:       par,
+		order:     order,
+		pos:       pos,
+		fanout:    c.FanoutLists(),
+		faulty:    make([]uint64, c.NumNodes()),
+		stamp:     make([]int, c.NumNodes()),
+		seenStamp: make([]int, c.NumNodes()),
+		isPO:      isPO,
+	}
+	s.heap.pos = pos
+	return s, nil
+}
+
+// goodValue returns the good-circuit word of node id for the current block.
+func (s *Simulator) goodValue(id int) uint64 { return s.par.Value(id)[0] }
+
+// faultyValue returns the faulty word of node id (good value when the
+// fault effect has not reached it this epoch).
+func (s *Simulator) faultyValue(id int) uint64 {
+	if s.stamp[id] == s.epoch {
+		return s.faulty[id]
+	}
+	return s.goodValue(id)
+}
+
+func (s *Simulator) setFaulty(id int, v uint64) {
+	s.faulty[id] = v
+	s.stamp[id] = s.epoch
+}
+
+// evalFaulty recomputes node id's value from the faulty values of its
+// fanins, honouring an input-pin fault on (fnode, fpin).
+func (s *Simulator) evalFaulty(id int, f Fault) uint64 {
+	g := &s.c.Gates[id]
+	pinVal := func(pin int) uint64 {
+		v := s.faultyValue(g.Fanin[pin])
+		if id == f.Node && pin == f.Pin {
+			if f.SA1 {
+				v = ^uint64(0)
+			} else {
+				v = 0
+			}
+		}
+		return v
+	}
+	switch g.Type {
+	case netlist.Input:
+		return s.goodValue(id)
+	case netlist.Const0:
+		return 0
+	case netlist.Const1:
+		return ^uint64(0)
+	case netlist.Buf:
+		return pinVal(0)
+	case netlist.Not:
+		return ^pinVal(0)
+	case netlist.And, netlist.Nand:
+		v := ^uint64(0)
+		for pin := range g.Fanin {
+			v &= pinVal(pin)
+		}
+		if g.Type == netlist.Nand {
+			v = ^v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := uint64(0)
+		for pin := range g.Fanin {
+			v |= pinVal(pin)
+		}
+		if g.Type == netlist.Nor {
+			v = ^v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := uint64(0)
+		for pin := range g.Fanin {
+			v ^= pinVal(pin)
+		}
+		if g.Type == netlist.Xnor {
+			v = ^v
+		}
+		return v
+	}
+	return 0
+}
+
+// simulateFault propagates one fault over the current block and reports
+// whether any primary output differs on any pattern.
+func (s *Simulator) simulateFault(f Fault) bool {
+	s.epoch++
+	var root int
+	var rootVal uint64
+	if f.Pin < 0 {
+		root = f.Node
+		if f.SA1 {
+			rootVal = ^uint64(0)
+		} else {
+			rootVal = 0
+		}
+	} else {
+		root = f.Node
+		rootVal = s.evalFaulty(root, f)
+	}
+	if rootVal == s.goodValue(root) {
+		return false // fault not excited by any pattern in the block
+	}
+	s.setFaulty(root, rootVal)
+	if s.isPO[root] {
+		return true
+	}
+	// Event-driven propagation in topological order using a sorted
+	// frontier (binary heap keyed by topo position). The seen stamps and
+	// the heap storage are reused across faults to stay allocation-free.
+	h := &s.heap
+	h.heap = h.heap[:0]
+	push := func(id int) {
+		if s.seenStamp[id] != s.epoch {
+			s.seenStamp[id] = s.epoch
+			h.push(id)
+		}
+	}
+	for _, fo := range s.fanout[root] {
+		push(fo)
+	}
+	for h.len() > 0 {
+		id := h.pop()
+		nv := s.evalFaulty(id, f)
+		if nv == s.goodValue(id) {
+			continue
+		}
+		s.setFaulty(id, nv)
+		if s.isPO[id] {
+			return true
+		}
+		for _, fo := range s.fanout[id] {
+			push(fo)
+		}
+	}
+	return false
+}
+
+// Result summarizes a fault-simulation campaign.
+type Result struct {
+	// Total is the number of simulated faults.
+	Total int
+	// Detected is the number of faults some pattern detected.
+	Detected int
+	// Remaining lists the undetected faults (for handoff to ATPG).
+	Remaining []Fault
+}
+
+// Coverage returns the detected fraction in percent.
+func (r Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Detected) / float64(r.Total)
+}
+
+// RunRandom simulates `blocks` blocks of 64 random patterns with fault
+// dropping and returns the campaign result. Key inputs are treated as
+// freely controllable (they sit in the scan chains under OraP), so they
+// receive random patterns exactly like primary inputs.
+func (s *Simulator) RunRandom(faults []Fault, blocks int, r *rng.Stream) Result {
+	live := append([]Fault(nil), faults...)
+	res := Result{Total: len(faults)}
+	for b := 0; b < blocks && len(live) > 0; b++ {
+		for _, id := range s.c.AllInputs() {
+			s.par.Value(id)[0] = r.Uint64()
+		}
+		s.par.Run()
+		kept := live[:0]
+		for _, f := range live {
+			if s.simulateFault(f) {
+				res.Detected++
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		live = kept
+	}
+	res.Remaining = append([]Fault(nil), live...)
+	return res
+}
+
+// DetectsWithPattern reports whether the given single test pattern
+// (covering primary inputs then key inputs) detects the fault.
+func (s *Simulator) DetectsWithPattern(f Fault, pattern []bool) (bool, error) {
+	all := s.c.AllInputs()
+	if len(pattern) != len(all) {
+		return false, fmt.Errorf("faultsim: pattern width %d != inputs %d", len(pattern), len(all))
+	}
+	for i, id := range all {
+		if pattern[i] {
+			s.par.Value(id)[0] = ^uint64(0)
+		} else {
+			s.par.Value(id)[0] = 0
+		}
+	}
+	s.par.Run()
+	return s.simulateFault(f), nil
+}
+
+// posHeap is a small binary min-heap of node IDs keyed by topological
+// position, used to process fault events in dependency order.
+type posHeap struct {
+	pos  []int
+	heap []int
+}
+
+func (h *posHeap) len() int { return len(h.heap) }
+
+func (h *posHeap) push(id int) {
+	h.heap = append(h.heap, id)
+	i := len(h.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.pos[h.heap[p]] <= h.pos[h.heap[i]] {
+			break
+		}
+		h.heap[p], h.heap[i] = h.heap[i], h.heap[p]
+		i = p
+	}
+}
+
+func (h *posHeap) pop() int {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap = h.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.pos[h.heap[l]] < h.pos[h.heap[small]] {
+			small = l
+		}
+		if r < last && h.pos[h.heap[r]] < h.pos[h.heap[small]] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.heap[i], h.heap[small] = h.heap[small], h.heap[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,167 @@
+package faultsim
+
+import (
+	"testing"
+
+	"orap/internal/circuits"
+	"orap/internal/netlist"
+	"orap/internal/rng"
+)
+
+func TestAllFaultsCount(t *testing.T) {
+	// c17: 5 inputs + 6 NAND2 gates, each with 2 input pins.
+	c := circuits.C17()
+	faults := AllFaults(c)
+	// Outputs: 11 observed nodes (5 inputs + 6 gates) ×2 = 22;
+	// input pins: 12 ×2 = 24. Total 46.
+	if len(faults) != 46 {
+		t.Fatalf("fault universe = %d, want 46", len(faults))
+	}
+}
+
+func TestCollapseReducesFaults(t *testing.T) {
+	c := circuits.C17()
+	all := AllFaults(c)
+	col := CollapseFaults(c)
+	if len(col) >= len(all) {
+		t.Fatalf("collapsing did not reduce: %d vs %d", len(col), len(all))
+	}
+	// NAND gates keep only input s-a-1: 22 output faults + 12 input s-a-1.
+	if len(col) != 34 {
+		t.Fatalf("collapsed list = %d, want 34", len(col))
+	}
+}
+
+func TestC17FullCoverageWithRandomPatterns(t *testing.T) {
+	// c17 is fully testable; plenty of random patterns must reach 100%.
+	c := circuits.C17()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunRandom(CollapseFaults(c), 8, rng.New(1))
+	if res.Coverage() != 100 {
+		t.Fatalf("coverage = %.2f%%, want 100%% (remaining %v)", res.Coverage(), res.Remaining)
+	}
+}
+
+func TestStuckOutputDetectedByObviousPattern(t *testing.T) {
+	// y = AND(a, b): y s-a-0 is detected exactly by a=b=1.
+	c := netlist.New("and2")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	y := c.MustAddGate(netlist.And, "y", a, b)
+	c.MarkOutput(y)
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Fault{Node: y, Pin: -1, SA1: false}
+	hit, err := s.DetectsWithPattern(f, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("a=b=1 must detect y s-a-0")
+	}
+	hit, err = s.DetectsWithPattern(f, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("a=1,b=0 cannot detect y s-a-0 (output already 0)")
+	}
+}
+
+func TestInputPinFault(t *testing.T) {
+	// y = AND(a, b): pin-a s-a-1 is detected by a=0, b=1 (good 0, bad 1).
+	c := netlist.New("and2")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	y := c.MustAddGate(netlist.And, "y", a, b)
+	c.MarkOutput(y)
+	s, _ := New(c)
+	f := Fault{Node: y, Pin: 0, SA1: true}
+	hit, err := s.DetectsWithPattern(f, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("a=0,b=1 must detect pin-a s-a-1")
+	}
+	hit, _ = s.DetectsWithPattern(f, []bool{false, false})
+	if hit {
+		t.Fatal("b=0 masks the pin fault")
+	}
+}
+
+func TestRedundantFaultNeverDetected(t *testing.T) {
+	// y = OR(a, AND(a, b)) is logically just a; the AND gate's effect is
+	// absorbed, so AND-output s-a-0 is redundant.
+	c := netlist.New("redundant")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	and := c.MustAddGate(netlist.And, "and", a, b)
+	y := c.MustAddGate(netlist.Or, "y", a, and)
+	c.MarkOutput(y)
+	s, _ := New(c)
+	f := Fault{Node: and, Pin: -1, SA1: false}
+	res := s.RunRandom([]Fault{f}, 16, rng.New(2))
+	if res.Detected != 0 {
+		t.Fatal("redundant fault reported detected")
+	}
+}
+
+func TestFaultDroppingKeepsTotalsConsistent(t *testing.T) {
+	c := circuits.RippleAdder(4)
+	s, _ := New(c)
+	faults := CollapseFaults(c)
+	res := s.RunRandom(faults, 4, rng.New(3))
+	if res.Detected+len(res.Remaining) != res.Total {
+		t.Fatalf("detected %d + remaining %d != total %d", res.Detected, len(res.Remaining), res.Total)
+	}
+	if res.Total != len(faults) {
+		t.Fatalf("total %d != fault list %d", res.Total, len(faults))
+	}
+	if res.Coverage() < 90 {
+		t.Fatalf("adder random coverage suspiciously low: %.2f%%", res.Coverage())
+	}
+}
+
+func TestKeyInputsAreControllable(t *testing.T) {
+	// A fault behind a key-controlled XOR must be detectable because key
+	// inputs receive patterns like any other input.
+	c := netlist.New("keyed")
+	a, _ := c.AddInput("a")
+	k, _ := c.AddKeyInput("keyinput0")
+	x := c.MustAddGate(netlist.Xor, "x", a, k)
+	c.MarkOutput(x)
+	s, _ := New(c)
+	res := s.RunRandom(CollapseFaults(c), 4, rng.New(4))
+	if res.Coverage() != 100 {
+		t.Fatalf("keyed circuit coverage = %.2f%%, want 100%%", res.Coverage())
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	if got := (Fault{Node: 3, Pin: -1, SA1: true}).String(); got != "n3 s-a-1" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Fault{Node: 3, Pin: 1, SA1: false}).String(); got != "n3.in1 s-a-0" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkRandomFaultSimAdder16(b *testing.B) {
+	c := circuits.RippleAdder(16)
+	s, err := New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := CollapseFaults(c)
+	r := rng.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunRandom(faults, 4, r)
+	}
+}

@@ -1,0 +1,126 @@
+package lock
+
+import (
+	"testing"
+
+	"orap/internal/circuits"
+	"orap/internal/rng"
+	"orap/internal/sim"
+)
+
+func TestTTLockEquivalence(t *testing.T) {
+	r := rng.New(21)
+	orig := circuits.C17()
+	l, err := TTLock(orig, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Circuit.NumKeys() != 5 {
+		t.Fatalf("keys = %d, want 5", l.Circuit.NumKeys())
+	}
+	assertEquivalentUnderKey(t, orig, l)
+}
+
+func TestTTLockWrongKeyCorruptsTwoPatterns(t *testing.T) {
+	r := rng.New(22)
+	orig := circuits.C17()
+	l, err := TTLock(orig, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[1] = !wrong[1]
+	mismatches := 0
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		want, _ := sim.Eval(orig, in, nil)
+		got, _ := sim.Eval(l.Circuit, in, wrong)
+		for j := range want {
+			if want[j] != got[j] {
+				mismatches++
+				break
+			}
+		}
+	}
+	if mismatches != 2 {
+		t.Fatalf("wrong key corrupted %d inputs, want exactly 2 (protected cube + wrong restore)", mismatches)
+	}
+}
+
+func TestTTLockRemovalResistance(t *testing.T) {
+	// Removing the restore unit must NOT recover the original function:
+	// the stripped circuit differs on the protected cube. This is the
+	// property that separates TTLock from SARLock.
+	r := rng.New(23)
+	orig := circuits.C17()
+	l, err := TTLock(orig, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := StripRestoreUnit(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	var diffAt int
+	key := make([]bool, stripped.NumKeys())
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		want, _ := sim.Eval(orig, in, nil)
+		got, _ := sim.Eval(stripped, in, key)
+		for j := range want {
+			if want[j] != got[j] {
+				diffs++
+				diffAt = v
+				break
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("stripped circuit differs on %d inputs, want exactly 1", diffs)
+	}
+	// The difference must be exactly the protected cube.
+	for i := range l.Key {
+		if l.Key[i] != (diffAt>>uint(i)&1 == 1) {
+			t.Fatalf("stripped circuit differs at %05b, protected cube is %v", diffAt, l.Key)
+		}
+	}
+}
+
+func TestTTLockSARLockContrastOnRemoval(t *testing.T) {
+	// SARLock's flip logic is additive: forcing its flip signal away
+	// (removal attack) recovers the original exactly. Verify our SARLock
+	// has that weakness so the TTLock contrast is real: with the correct
+	// key the flip never fires, and the flip signal is a pure add-on the
+	// removal attack can isolate.
+	r := rng.New(24)
+	orig := circuits.C17()
+	l, err := SARLock(orig, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate removal: take the XOR output gate's functional input.
+	c := l.Circuit.Clone()
+	out := c.POs[0]
+	c.POs[0] = c.Gates[out].Fanin[0]
+	key := make([]bool, c.NumKeys())
+	for v := 0; v < 32; v++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = v>>uint(i)&1 == 1
+		}
+		want, _ := sim.Eval(orig, in, nil)
+		got, _ := sim.Eval(c, in, key)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("SARLock removal failed at input %05b — construction changed?", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package metrics measures output corruptibility, the quantity the
+// paper's Table I reports as Hamming distance (HD): the valid key and
+// random wrong keys are applied to the locked circuit, long pseudorandom
+// input sequences are simulated, and the fraction of differing output
+// bits is averaged.
+//
+// The measurement is bit-parallel and streamed in blocks, so circuits at
+// b19 scale (~200k gates, thousands of outputs, hundreds of thousands of
+// patterns) run in bounded memory.
+package metrics
+
+import (
+	"fmt"
+
+	"orap/internal/netlist"
+	"orap/internal/rng"
+	"orap/internal/sim"
+)
+
+// HDOptions tunes the Hamming-distance measurement.
+type HDOptions struct {
+	// Patterns is the number of pseudorandom input patterns (default
+	// 262144, "a few hundreds of thousands" as in the paper; rounded up
+	// to a multiple of the block size).
+	Patterns int
+	// WrongKeys is the number of random wrong keys averaged (default 8).
+	WrongKeys int
+	// BlockWords is the number of 64-pattern words simulated at once
+	// (default 64, i.e. 4096 patterns per block).
+	BlockWords int
+	// Rand drives pattern and wrong-key generation; required.
+	Rand *rng.Stream
+}
+
+func (o *HDOptions) fill() error {
+	if o.Rand == nil {
+		return fmt.Errorf("metrics: HDOptions.Rand is required")
+	}
+	if o.Patterns <= 0 {
+		o.Patterns = 1 << 18
+	}
+	if o.WrongKeys <= 0 {
+		o.WrongKeys = 8
+	}
+	if o.BlockWords <= 0 {
+		o.BlockWords = 64
+	}
+	return nil
+}
+
+// HDResult reports a corruptibility measurement.
+type HDResult struct {
+	// HDPercent is the average Hamming distance between correct-key and
+	// wrong-key outputs, as a percentage of all output bits.
+	HDPercent float64
+	// Patterns and WrongKeys echo the measurement size.
+	Patterns  int
+	WrongKeys int
+	// AvgFlippedOutputs is the average number of corrupted outputs per
+	// pattern (the paper's "2068 out of 6672 outputs" style statistic).
+	AvgFlippedOutputs float64
+}
+
+// HammingDistance measures output corruptibility of a locked circuit:
+// the average bit-difference between the circuit under its correct key
+// and under random wrong keys, over pseudorandom input patterns.
+func HammingDistance(locked *netlist.Circuit, correctKey []bool, opts HDOptions) (HDResult, error) {
+	if err := opts.fill(); err != nil {
+		return HDResult{}, err
+	}
+	if len(correctKey) != locked.NumKeys() {
+		return HDResult{}, fmt.Errorf("metrics: key width %d != circuit %d", len(correctKey), locked.NumKeys())
+	}
+	if locked.NumKeys() == 0 {
+		return HDResult{}, fmt.Errorf("metrics: circuit %q has no key inputs", locked.Name)
+	}
+	p, err := sim.NewParallel(locked, opts.BlockWords)
+	if err != nil {
+		return HDResult{}, err
+	}
+
+	// Draw the wrong keys up front (skipping accidental hits on the
+	// correct key).
+	wrong := make([][]bool, 0, opts.WrongKeys)
+	for len(wrong) < opts.WrongKeys {
+		k := make([]bool, len(correctKey))
+		opts.Rand.Bits(k)
+		same := true
+		for i := range k {
+			if k[i] != correctKey[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			wrong = append(wrong, k)
+		}
+	}
+
+	blockPatterns := opts.BlockWords * 64
+	blocks := (opts.Patterns + blockPatterns - 1) / blockPatterns
+	totalPatterns := blocks * blockPatterns
+
+	goodOut := make([][]uint64, locked.NumOutputs())
+	for i := range goodOut {
+		goodOut[i] = make([]uint64, opts.BlockWords)
+	}
+
+	var diffBits int64
+	for b := 0; b < blocks; b++ {
+		p.RandomizeInputs(opts.Rand)
+		if err := p.SetKey(correctKey); err != nil {
+			return HDResult{}, err
+		}
+		p.Run()
+		for i, id := range locked.POs {
+			copy(goodOut[i], p.Value(id))
+		}
+		for _, k := range wrong {
+			if err := p.SetKey(k); err != nil {
+				return HDResult{}, err
+			}
+			p.Run()
+			for i, id := range locked.POs {
+				diffBits += int64(sim.DiffBits(p.Value(id), goodOut[i], blockPatterns))
+			}
+		}
+	}
+
+	totalBits := int64(totalPatterns) * int64(len(wrong)) * int64(locked.NumOutputs())
+	hd := 100 * float64(diffBits) / float64(totalBits)
+	return HDResult{
+		HDPercent:         hd,
+		Patterns:          totalPatterns,
+		WrongKeys:         len(wrong),
+		AvgFlippedOutputs: hd / 100 * float64(locked.NumOutputs()),
+	}, nil
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"testing"
+
+	"orap/internal/benchgen"
+	"orap/internal/circuits"
+	"orap/internal/lock"
+	"orap/internal/netlist"
+	"orap/internal/rng"
+)
+
+func TestHDZeroWhenWrongKeysCannotCorrupt(t *testing.T) {
+	// A key gate on a dead branch... simpler: XNOR pair that cancels.
+	// Build a circuit where the key input feeds two XORs that cancel out.
+	c := netlist.New("cancel")
+	a, _ := c.AddInput("a")
+	k, _ := c.AddKeyInput("keyinput0")
+	x1 := c.MustAddGate(netlist.Xor, "x1", a, k)
+	x2 := c.MustAddGate(netlist.Xor, "x2", x1, k)
+	c.MarkOutput(x2) // x2 == a regardless of k
+	res, err := HammingDistance(c, []bool{false}, HDOptions{Patterns: 1 << 10, WrongKeys: 1, Rand: rng.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HDPercent != 0 {
+		t.Fatalf("cancelling key shows HD %.2f%%, want 0", res.HDPercent)
+	}
+}
+
+func TestHDFiftyForPureXorKey(t *testing.T) {
+	// y = a ⊕ k: a wrong key flips y on every pattern → HD = 100%.
+	// With a second key-free output the average halves to 50%.
+	c := netlist.New("xork")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	k, _ := c.AddKeyInput("keyinput0")
+	y := c.MustAddGate(netlist.Xor, "y", a, k)
+	z := c.MustAddGate(netlist.And, "z", a, b)
+	c.MarkOutput(y)
+	c.MarkOutput(z)
+	res, err := HammingDistance(c, []bool{false}, HDOptions{Patterns: 1 << 12, WrongKeys: 1, Rand: rng.New(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HDPercent != 50 {
+		t.Fatalf("HD = %.2f%%, want exactly 50", res.HDPercent)
+	}
+	if res.AvgFlippedOutputs != 1 {
+		t.Fatalf("avg flipped outputs = %.2f, want 1", res.AvgFlippedOutputs)
+	}
+}
+
+func TestHDWeightedBeatsSARLock(t *testing.T) {
+	// The paper's motivation: weighted locking has high output
+	// corruptibility, SAT-resistant point functions have almost none.
+	orig := circuits.RippleAdder(6)
+	wll, err := lock.Weighted(orig, lock.WeightedOptions{KeyBits: 12, ControlWidth: 3, KeyGates: 12, Rand: rng.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sar, err := lock.SARLock(orig, 0, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := HDOptions{Patterns: 1 << 12, WrongKeys: 4, Rand: rng.New(5)}
+	wllHD, err := HammingDistance(wll.Circuit, wll.Key, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Rand = rng.New(6)
+	sarHD, err := HammingDistance(sar.Circuit, sar.Key, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wllHD.HDPercent < 10 {
+		t.Fatalf("weighted locking HD = %.2f%%, expected substantial corruption", wllHD.HDPercent)
+	}
+	if sarHD.HDPercent > 1 {
+		t.Fatalf("SARLock HD = %.2f%%, expected near zero", sarHD.HDPercent)
+	}
+	if wllHD.HDPercent < 20*sarHD.HDPercent {
+		t.Fatalf("weighted (%.2f%%) should dwarf SARLock (%.2f%%)", wllHD.HDPercent, sarHD.HDPercent)
+	}
+}
+
+func TestHDValidation(t *testing.T) {
+	c := circuits.C17()
+	if _, err := HammingDistance(c, nil, HDOptions{Rand: rng.New(1)}); err == nil {
+		t.Fatal("unkeyed circuit accepted")
+	}
+	locked, _ := lock.RandomXOR(c, 3, rng.New(2))
+	if _, err := HammingDistance(locked.Circuit, []bool{true}, HDOptions{Rand: rng.New(3)}); err == nil {
+		t.Fatal("wrong key width accepted")
+	}
+	if _, err := HammingDistance(locked.Circuit, locked.Key, HDOptions{}); err == nil {
+		t.Fatal("missing Rand accepted")
+	}
+}
+
+func TestHDDeterministic(t *testing.T) {
+	orig := circuits.RippleAdder(4)
+	l, _ := lock.RandomXOR(orig, 5, rng.New(7))
+	a, err := HammingDistance(l.Circuit, l.Key, HDOptions{Patterns: 1 << 10, WrongKeys: 3, Rand: rng.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HammingDistance(l.Circuit, l.Key, HDOptions{Patterns: 1 << 10, WrongKeys: 3, Rand: rng.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HDPercent != b.HDPercent {
+		t.Fatalf("HD not deterministic: %v vs %v", a.HDPercent, b.HDPercent)
+	}
+}
+
+func TestHDPatternRounding(t *testing.T) {
+	orig := circuits.RippleAdder(4)
+	l, _ := lock.RandomXOR(orig, 5, rng.New(9))
+	res, err := HammingDistance(l.Circuit, l.Key, HDOptions{Patterns: 100, BlockWords: 2, WrongKeys: 1, Rand: rng.New(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patterns != 128 {
+		t.Fatalf("patterns = %d, want rounded-up 128", res.Patterns)
+	}
+}
+
+func BenchmarkHammingDistanceB20Slice(b *testing.B) {
+	prof, _ := benchgen.ProfileByName("b20")
+	circuit, err := benchgen.Generate(prof.Scale(0.05), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lock.Weighted(circuit, lock.WeightedOptions{KeyBits: 48, ControlWidth: 3, Rand: rng.New(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HammingDistance(l.Circuit, l.Key, HDOptions{
+			Patterns: 1 << 12, WrongKeys: 4, Rand: rng.New(3),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

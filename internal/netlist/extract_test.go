@@ -1,0 +1,157 @@
+package netlist
+
+import "testing"
+
+// buildTwoCones returns a circuit with two mostly-disjoint output cones:
+// o1 = (a ∧ b) ⊕ k, o2 = c ∨ d.
+func buildTwoCones(t *testing.T) (*Circuit, int, int) {
+	t.Helper()
+	c := New("two")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	cc, _ := c.AddInput("c")
+	d, _ := c.AddInput("d")
+	k, _ := c.AddKeyInput("keyinput0")
+	ab := c.MustAddGate(And, "ab", a, b)
+	o1 := c.MustAddGate(Xor, "o1", ab, k)
+	o2 := c.MustAddGate(Or, "o2", cc, d)
+	c.MarkOutput(o1)
+	c.MarkOutput(o2)
+	return c, o1, o2
+}
+
+func TestExtractConeShrinksToRelevantLogic(t *testing.T) {
+	c, o1, o2 := buildTwoCones(t)
+
+	cone1, m1, err := c.ExtractCone(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone1.NumInputs() != 2 || cone1.NumKeys() != 1 || cone1.NumOutputs() != 1 {
+		t.Fatalf("cone1 shape wrong: %s", cone1.Summary())
+	}
+	if _, ok := cone1.NodeByName("c"); ok {
+		t.Fatal("cone1 contains an input from the other cone")
+	}
+	if _, ok := m1[o2]; ok {
+		t.Fatal("cone1 map contains the other output")
+	}
+
+	cone2, _, err := c.ExtractCone(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone2.NumKeys() != 0 {
+		t.Fatal("cone2 should not contain the key input")
+	}
+	if cone2.GateCount() != 1 {
+		t.Fatalf("cone2 gates = %d, want 1", cone2.GateCount())
+	}
+}
+
+func TestExtractConePreservesFunction(t *testing.T) {
+	c, o1, _ := buildTwoCones(t)
+	cone, _, err := c.ExtractCone(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o1 = (a∧b) ⊕ k over inputs (a, b) and key k.
+	for v := 0; v < 8; v++ {
+		a, b, k := v&1 == 1, v>>1&1 == 1, v>>2&1 == 1
+		got := evalSingle(t, cone, []bool{a, b}, []bool{k})
+		want := (a && b) != k
+		if got[0] != want {
+			t.Fatalf("cone wrong at a=%v b=%v k=%v", a, b, k)
+		}
+	}
+}
+
+func TestExtractConeMultipleRoots(t *testing.T) {
+	c, o1, o2 := buildTwoCones(t)
+	both, m, err := c.ExtractCone(o1, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.NumOutputs() != 2 || both.NumInputs() != 4 || both.NumKeys() != 1 {
+		t.Fatalf("combined cone shape wrong: %s", both.Summary())
+	}
+	if both.POs[0] != m[o1] || both.POs[1] != m[o2] {
+		t.Fatal("output order not preserved")
+	}
+}
+
+func TestExtractConeWithConstants(t *testing.T) {
+	c := New("const")
+	a, _ := c.AddInput("a")
+	one, _ := c.AddConst(true, "one")
+	g := c.MustAddGate(And, "g", a, one)
+	c.MarkOutput(g)
+	cone, _, err := c.ExtractCone(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone.NumNodes() != 3 {
+		t.Fatalf("cone nodes = %d, want 3", cone.NumNodes())
+	}
+}
+
+func TestExtractConeRangeChecked(t *testing.T) {
+	c, _, _ := buildTwoCones(t)
+	if _, _, err := c.ExtractCone(999); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+// evalSingle is a minimal single-pattern evaluator for this package's
+// tests (the sim package would be an import cycle).
+func evalSingle(t *testing.T, c *Circuit, pi, key []bool) []bool {
+	t.Helper()
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]bool, len(c.Gates))
+	for i, id := range c.PIs {
+		vals[id] = pi[i]
+	}
+	for i, id := range c.Keys {
+		vals[id] = key[i]
+	}
+	for _, id := range order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case Input:
+		case Const0:
+			vals[id] = false
+		case Const1:
+			vals[id] = true
+		case Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case And, Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			vals[id] = v != (g.Type == Nand)
+		case Or, Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			vals[id] = v != (g.Type == Nor)
+		case Xor, Xnor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			vals[id] = v != (g.Type == Xnor)
+		}
+	}
+	out := make([]bool, len(c.POs))
+	for i, id := range c.POs {
+		out[i] = vals[id]
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("small")
+	a, err := c.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.AddInput("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := c.AddKeyInput("keyinput0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := c.MustAddGate(And, "g1", a, b)
+	g2 := c.MustAddGate(Xor, "g2", g1, k)
+	if err := c.MarkOutput(g2); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	c := buildSmall(t)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.NumInputs() != 2 || c.NumKeys() != 1 || c.NumOutputs() != 1 {
+		t.Fatalf("bad shape: %d inputs %d keys %d outputs", c.NumInputs(), c.NumKeys(), c.NumOutputs())
+	}
+	if c.NumNodes() != 5 {
+		t.Fatalf("expected 5 nodes, got %d", c.NumNodes())
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	c := New("dup")
+	if _, err := c.AddInput("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddInput("x"); err == nil {
+		t.Fatal("duplicate input name accepted")
+	}
+}
+
+func TestGateArityRules(t *testing.T) {
+	c := New("arity")
+	a, _ := c.AddInput("a")
+	if _, err := c.AddGate(Not, "n", a, a); err == nil {
+		t.Error("NOT with 2 fanins accepted")
+	}
+	if _, err := c.AddGate(And, "x", a); err == nil {
+		t.Error("AND with 1 fanin accepted")
+	}
+	if _, err := c.AddGate(And, "y", a, 999); err == nil {
+		t.Error("fanin out of range accepted")
+	}
+	if _, err := c.AddGate(Input, "z"); err == nil {
+		t.Error("AddGate(Input) accepted")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	c := buildSmall(t)
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, c.NumNodes())
+	for i, id := range order {
+		pos[id] = i
+	}
+	for id, g := range c.Gates {
+		for _, f := range g.Fanin {
+			if pos[f] >= pos[id] {
+				t.Fatalf("node %d appears before its fanin %d", id, f)
+			}
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	c := New("cyc")
+	a, _ := c.AddInput("a")
+	g1 := c.MustAddGate(And, "g1", a, a)
+	// Manually create a cycle g1 <-> g2.
+	g2 := c.MustAddGate(Or, "g2", g1, a)
+	c.Gates[g1].Fanin[1] = g2
+	c.dirty()
+	if _, err := c.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate missed the cycle")
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	c := buildSmall(t)
+	lv, err := c.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inputs at level 0, g1 at 1, g2 at 2
+	g1, _ := c.NodeByName("g1")
+	g2, _ := c.NodeByName("g2")
+	if lv[g1] != 1 || lv[g2] != 2 {
+		t.Fatalf("levels wrong: g1=%d g2=%d", lv[g1], lv[g2])
+	}
+	d, err := c.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := buildSmall(t)
+	cl := c.Clone()
+	g1, _ := cl.NodeByName("g1")
+	cl.Gates[g1].Fanin[0] = 0
+	orig, _ := c.NodeByName("g1")
+	if c.Gates[orig].Fanin[0] == 0 && orig != 0 {
+		// fanin[0] was node "a"; ensure it wasn't 0 before concluding.
+		a, _ := c.NodeByName("a")
+		if a != 0 {
+			t.Fatal("Clone shares fanin storage with original")
+		}
+	}
+	cl.Name = "changed"
+	if c.Name == "changed" {
+		t.Fatal("Clone shares name")
+	}
+	if _, ok := cl.NodeByName("g2"); !ok {
+		t.Fatal("Clone lost name index")
+	}
+}
+
+func TestGateCountExcludesInverters(t *testing.T) {
+	c := New("inv")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	n := c.MustAddGate(Not, "n", a)
+	bf := c.MustAddGate(Buf, "bf", b)
+	g := c.MustAddGate(Nand, "g", n, bf)
+	c.MarkOutput(g)
+	if got := c.GateCount(); got != 1 {
+		t.Fatalf("GateCount = %d, want 1 (NOT/BUF excluded)", got)
+	}
+	st, err := c.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inverters != 1 || st.Buffers != 1 || st.Gates != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestFanoutLists(t *testing.T) {
+	c := buildSmall(t)
+	fo := c.FanoutLists()
+	a, _ := c.NodeByName("a")
+	g1, _ := c.NodeByName("g1")
+	if len(fo[a]) != 1 || fo[a][0] != g1 {
+		t.Fatalf("fanout of a = %v, want [%d]", fo[a], g1)
+	}
+	g2, _ := c.NodeByName("g2")
+	if len(fo[g2]) != 0 {
+		t.Fatalf("fanout of output gate should be empty, got %v", fo[g2])
+	}
+}
+
+func TestTransitiveCones(t *testing.T) {
+	c := buildSmall(t)
+	g2, _ := c.NodeByName("g2")
+	fanin := c.TransitiveFanin(g2)
+	for id := range c.Gates {
+		if !fanin[id] {
+			t.Fatalf("node %d not in fanin cone of the only output", id)
+		}
+	}
+	a, _ := c.NodeByName("a")
+	fanout := c.TransitiveFanout(a)
+	k, _ := c.NodeByName("keyinput0")
+	if fanout[k] {
+		t.Fatal("key input wrongly in fanout cone of a")
+	}
+	if !fanout[g2] {
+		t.Fatal("output missing from fanout cone of a")
+	}
+}
+
+func TestGateTypeHelpers(t *testing.T) {
+	cases := []struct {
+		t        GateType
+		base     GateType
+		inverted GateType
+		inv      bool
+	}{
+		{And, And, Nand, false},
+		{Nand, And, And, true},
+		{Or, Or, Nor, false},
+		{Nor, Or, Or, true},
+		{Xor, Xor, Xnor, false},
+		{Xnor, Xor, Xor, true},
+		{Not, Buf, Buf, true},
+		{Buf, Buf, Not, false},
+	}
+	for _, tc := range cases {
+		if tc.t.Base() != tc.base {
+			t.Errorf("%v.Base() = %v, want %v", tc.t, tc.t.Base(), tc.base)
+		}
+		if tc.t.Invert() != tc.inverted {
+			t.Errorf("%v.Invert() = %v, want %v", tc.t, tc.t.Invert(), tc.inverted)
+		}
+		if tc.t.Inverting() != tc.inv {
+			t.Errorf("%v.Inverting() = %v, want %v", tc.t, tc.t.Inverting(), tc.inv)
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	c := buildSmall(t)
+	g1, _ := c.NodeByName("g1")
+	if err := c.Rename(g1, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.NodeByName("g1"); ok {
+		t.Fatal("old name still resolves")
+	}
+	id, ok := c.NodeByName("renamed")
+	if !ok || id != g1 {
+		t.Fatalf("new name resolves to %d, want %d", id, g1)
+	}
+}
+
+func TestDanglingNodes(t *testing.T) {
+	c := buildSmall(t)
+	if d := c.DanglingNodes(); len(d) != 0 {
+		t.Fatalf("unexpected dangling nodes %v", d)
+	}
+	a, _ := c.NodeByName("a")
+	b, _ := c.NodeByName("b")
+	c.MustAddGate(Or, "orphan", a, b)
+	d := c.DanglingNodes()
+	if len(d) != 1 {
+		t.Fatalf("expected 1 dangling node, got %v", d)
+	}
+}
+
+func TestIsKeyInput(t *testing.T) {
+	c := buildSmall(t)
+	k, _ := c.NodeByName("keyinput0")
+	a, _ := c.NodeByName("a")
+	if !c.IsKeyInput(k) || c.IsKeyInput(a) {
+		t.Fatal("IsKeyInput misclassifies")
+	}
+}
+
+func TestSummaryMentionsName(t *testing.T) {
+	c := buildSmall(t)
+	if s := c.Summary(); !strings.Contains(s, "small") {
+		t.Fatalf("summary %q does not mention circuit name", s)
+	}
+}
+
+func BenchmarkTopoOrder(b *testing.B) {
+	c := New("wide")
+	prev := make([]int, 0, 64)
+	for i := 0; i < 64; i++ {
+		id, _ := c.AddInput(fmt.Sprintf("i%d", i))
+		prev = append(prev, id)
+	}
+	for g := 0; g < 20000; g++ {
+		a := prev[g%len(prev)]
+		bb := prev[(g*7+3)%len(prev)]
+		if a == bb {
+			bb = prev[(g*7+4)%len(prev)]
+		}
+		id := c.MustAddGate(And, "", a, bb)
+		prev[g%len(prev)] = id
+	}
+	c.MarkOutput(prev[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.dirty()
+		if _, err := c.TopoOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a circuit with the metrics used throughout the paper's
+// evaluation: gate count without inverters/buffers (the "area" proxy of
+// Table I) and logic depth in levels (the delay proxy).
+type Stats struct {
+	Nodes      int // all nodes including inputs and constants
+	Gates      int // logic gates excluding inverters and buffers
+	Inverters  int // NOT nodes
+	Buffers    int // BUF nodes
+	Inputs     int
+	KeyInputs  int
+	Outputs    int
+	Depth      int // levels over all nodes counting every gate
+	TypeCounts map[GateType]int
+}
+
+// ComputeStats gathers the summary metrics for the circuit.
+func (c *Circuit) ComputeStats() (Stats, error) {
+	s := Stats{
+		Inputs:     len(c.PIs),
+		KeyInputs:  len(c.Keys),
+		Outputs:    len(c.POs),
+		Nodes:      len(c.Gates),
+		TypeCounts: make(map[GateType]int),
+	}
+	for _, g := range c.Gates {
+		s.TypeCounts[g.Type]++
+		switch g.Type {
+		case Input, Const0, Const1:
+		case Not:
+			s.Inverters++
+		case Buf:
+			s.Buffers++
+		default:
+			s.Gates++
+		}
+	}
+	d, err := c.Depth()
+	if err != nil {
+		return Stats{}, err
+	}
+	s.Depth = d
+	return s, nil
+}
+
+// String renders the stats in a compact single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d gates=%d inv=%d buf=%d pi=%d key=%d po=%d depth=%d",
+		s.Nodes, s.Gates, s.Inverters, s.Buffers, s.Inputs, s.KeyInputs, s.Outputs, s.Depth)
+}
+
+// GateCount returns the number of logic gates excluding inverters and
+// buffers, the paper's area metric.
+func (c *Circuit) GateCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		switch g.Type {
+		case Input, Const0, Const1, Not, Buf:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Summary returns a short multi-line human-readable description.
+func (c *Circuit) Summary() string {
+	var b strings.Builder
+	st, err := c.ComputeStats()
+	if err != nil {
+		fmt.Fprintf(&b, "circuit %q: invalid (%v)\n", c.Name, err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "circuit %q: %s\n", c.Name, st)
+	return b.String()
+}
+
+// DanglingNodes returns the IDs of nodes that are neither outputs nor in the
+// transitive fanin of any output. Inputs are never reported as dangling.
+func (c *Circuit) DanglingNodes() []int {
+	used := c.TransitiveFanin(c.POs...)
+	var dangling []int
+	for id := range c.Gates {
+		if used[id] || c.Gates[id].Type == Input {
+			continue
+		}
+		dangling = append(dangling, id)
+	}
+	return dangling
+}

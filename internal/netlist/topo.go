@@ -1,0 +1,156 @@
+package netlist
+
+import "fmt"
+
+// TopoOrder returns the node IDs in a topological order (every node appears
+// after all of its fanins). The order is cached until the circuit is
+// modified. An error is returned if the graph contains a combinational
+// cycle.
+func (c *Circuit) TopoOrder() ([]int, error) {
+	if c.topo != nil {
+		return c.topo, nil
+	}
+	n := len(c.Gates)
+	indeg := make([]int, n)
+	fanout := c.FanoutLists()
+	for id := range c.Gates {
+		indeg[id] = len(c.Gates[id].Fanin)
+	}
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, f := range fanout[id] {
+			indeg[f]--
+			if indeg[f] == 0 {
+				queue = append(queue, f)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("netlist: circuit %q contains a combinational cycle (%d of %d nodes ordered)", c.Name, len(order), n)
+	}
+	c.topo = order
+	return order, nil
+}
+
+// MustTopoOrder is TopoOrder that panics on cyclic circuits.
+func (c *Circuit) MustTopoOrder() []int {
+	order, err := c.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return order
+}
+
+// FanoutLists returns, for every node, the IDs of the nodes it drives.
+// Duplicate fanin edges yield duplicate fanout entries, mirroring the
+// physical connection count.
+func (c *Circuit) FanoutLists() [][]int {
+	counts := make([]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			counts[f]++
+		}
+	}
+	fanout := make([][]int, len(c.Gates))
+	for id, n := range counts {
+		if n > 0 {
+			fanout[id] = make([]int, 0, n)
+		}
+	}
+	for id, g := range c.Gates {
+		for _, f := range g.Fanin {
+			fanout[f] = append(fanout[f], id)
+		}
+	}
+	return fanout
+}
+
+// Levels returns the logic level of every node: inputs and constants are
+// level 0, every gate is 1 + max(level of fanins). Buffers and inverters
+// count as levels here; LevelsExcludingInverters provides the paper's
+// delay metric.
+func (c *Circuit) Levels() ([]int, error) {
+	if c.levels != nil {
+		return c.levels, nil
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lv := make([]int, len(c.Gates))
+	for _, id := range order {
+		g := &c.Gates[id]
+		if len(g.Fanin) == 0 {
+			lv[id] = 0
+			continue
+		}
+		maxIn := 0
+		for _, f := range g.Fanin {
+			if lv[f] > maxIn {
+				maxIn = lv[f]
+			}
+		}
+		lv[id] = maxIn + 1
+	}
+	c.levels = lv
+	return lv, nil
+}
+
+// Depth returns the maximum logic level across primary outputs.
+func (c *Circuit) Depth() (int, error) {
+	lv, err := c.Levels()
+	if err != nil {
+		return 0, err
+	}
+	d := 0
+	for _, o := range c.POs {
+		if lv[o] > d {
+			d = lv[o]
+		}
+	}
+	return d, nil
+}
+
+// TransitiveFanin returns a boolean membership slice marking every node in
+// the transitive fanin cone of the given roots (the roots included).
+func (c *Circuit) TransitiveFanin(roots ...int) []bool {
+	in := make([]bool, len(c.Gates))
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || id >= len(c.Gates) || in[id] {
+			continue
+		}
+		in[id] = true
+		stack = append(stack, c.Gates[id].Fanin...)
+	}
+	return in
+}
+
+// TransitiveFanout returns a boolean membership slice marking every node in
+// the transitive fanout cone of the given roots (the roots included).
+func (c *Circuit) TransitiveFanout(roots ...int) []bool {
+	fanout := c.FanoutLists()
+	out := make([]bool, len(c.Gates))
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || id >= len(c.Gates) || out[id] {
+			continue
+		}
+		out[id] = true
+		stack = append(stack, fanout[id]...)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package oracle defines the black-box interface that oracle-guided
+// attacks query, together with the ideal (unprotected) implementation.
+//
+// In the paper's threat model, the attacker owns an activated chip and
+// reaches its combinational core through the scan chains ("scan in –
+// capture – scan out"). An unprotected chip therefore behaves like Comb:
+// every query returns the correct response. The OraP-protected chip
+// (package scan / orap) also satisfies Oracle, but its responses are
+// computed with a cleared key register — the central difference the
+// experiments measure.
+package oracle
+
+import (
+	"fmt"
+
+	"orap/internal/netlist"
+	"orap/internal/sim"
+)
+
+// Oracle answers combinational input/output queries on an activated chip.
+type Oracle interface {
+	// NumInputs returns the width of query patterns.
+	NumInputs() int
+	// NumOutputs returns the width of responses.
+	NumOutputs() int
+	// Query applies one input pattern and returns the chip's response.
+	Query(x []bool) ([]bool, error)
+	// Queries returns how many times Query has been called.
+	Queries() int
+}
+
+// Comb is the ideal oracle: direct combinational evaluation of a circuit
+// with the correct key applied. It models unrestricted scan access to an
+// unprotected activated chip.
+type Comb struct {
+	c       *netlist.Circuit
+	key     []bool
+	queries int
+}
+
+// NewComb returns an oracle over circuit c unlocked with key. The key
+// width must match the circuit; an unkeyed circuit takes a nil key.
+func NewComb(c *netlist.Circuit, key []bool) (*Comb, error) {
+	if len(key) != c.NumKeys() {
+		return nil, fmt.Errorf("oracle: key width %d != circuit %d", len(key), c.NumKeys())
+	}
+	return &Comb{c: c, key: append([]bool(nil), key...)}, nil
+}
+
+// NumInputs implements Oracle.
+func (o *Comb) NumInputs() int { return o.c.NumInputs() }
+
+// NumOutputs implements Oracle.
+func (o *Comb) NumOutputs() int { return o.c.NumOutputs() }
+
+// Query implements Oracle.
+func (o *Comb) Query(x []bool) ([]bool, error) {
+	o.queries++
+	return sim.Eval(o.c, x, o.key)
+}
+
+// Queries implements Oracle.
+func (o *Comb) Queries() int { return o.queries }
+
+// Limited wraps an oracle with a query budget; exceeding it returns
+// ErrBudget. Attack evaluations use it to bound runaway query loops.
+type Limited struct {
+	Oracle
+	Max int
+}
+
+// ErrBudget reports an exhausted oracle query budget.
+var ErrBudget = fmt.Errorf("oracle: query budget exhausted")
+
+// Query implements Oracle, enforcing the budget.
+func (l *Limited) Query(x []bool) ([]bool, error) {
+	if l.Max > 0 && l.Oracle.Queries() >= l.Max {
+		return nil, ErrBudget
+	}
+	return l.Oracle.Query(x)
+}

@@ -1,0 +1,71 @@
+package oracle
+
+import (
+	"fmt"
+
+	"orap/internal/scan"
+)
+
+// Scan is the realistic oracle: every query goes through the chip's scan
+// infrastructure exactly as the paper describes — raise scan enable,
+// shift the pattern into the flip-flops, drop scan enable for one capture
+// clock, raise scan enable again and shift the response out.
+//
+// On a conventional chip (scan.None) the key register still holds the
+// correct key during capture, so responses are correct and oracle-guided
+// attacks work. On an OraP chip the rising scan-enable edge cleared the
+// key register before the first shift, so every response belongs to the
+// locked circuit.
+type Scan struct {
+	chip    *scan.Chip
+	queries int
+}
+
+// NewScan wraps an activated chip. The chip should have been unlocked
+// (activated) before it reached the attacker; for a protected chip the
+// protection works regardless.
+func NewScan(ch *scan.Chip) *Scan {
+	return &Scan{chip: ch}
+}
+
+// NumInputs implements Oracle: queries cover all core inputs, pins first
+// then flip-flop-driven inputs.
+func (o *Scan) NumInputs() int { return o.chip.Config().Core.NumInputs() }
+
+// NumOutputs implements Oracle: responses cover all core outputs, pin
+// outputs first then the captured flip-flop values scanned back out.
+func (o *Scan) NumOutputs() int { return o.chip.Config().Core.NumOutputs() }
+
+// Query implements Oracle via the scan in – capture – scan out protocol.
+func (o *Scan) Query(x []bool) ([]bool, error) {
+	cfg := o.chip.Config()
+	if len(x) != cfg.Core.NumInputs() {
+		return nil, fmt.Errorf("oracle: query width %d != core inputs %d", len(x), cfg.Core.NumInputs())
+	}
+	o.queries++
+	pins := x[:cfg.RealPIs]
+	ffPart := x[cfg.RealPIs:]
+
+	o.chip.SetScanEnable(true) // rising edge: OraP clears the key register
+	if err := o.chip.ScanInFFs(ffPart); err != nil {
+		return nil, err
+	}
+	o.chip.SetScanEnable(false)
+	pinOut, err := o.chip.CaptureClock(pins)
+	if err != nil {
+		return nil, err
+	}
+	o.chip.SetScanEnable(true)
+	ffOut, err := o.chip.ScanOutFFs()
+	if err != nil {
+		return nil, err
+	}
+	o.chip.SetScanEnable(false)
+	resp := make([]bool, 0, len(pinOut)+len(ffOut))
+	resp = append(resp, pinOut...)
+	resp = append(resp, ffOut...)
+	return resp, nil
+}
+
+// Queries implements Oracle.
+func (o *Scan) Queries() int { return o.queries }

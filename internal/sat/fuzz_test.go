@@ -1,0 +1,32 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS feeds arbitrary text to the DIMACS reader: parsing must
+// either fail cleanly or produce a solver whose Solve terminates (the
+// instances are tiny, so a full solve is affordable inside the fuzzer).
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n2 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0\n")
+	f.Add("1 0")
+	f.Add("p cnf 0 0\n")
+	f.Add("p cnf 3 1\n1 2 3 0 -1 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Cap problem size so hostile inputs cannot allocate wildly.
+		if len(src) > 1<<12 || strings.Count(src, "\n") > 256 {
+			return
+		}
+		s, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 64 {
+			return // avoid huge random instances in the fuzz loop
+		}
+		s.MaxConflicts = 1000
+		_, _ = s.Solve()
+	})
+}

@@ -1,0 +1,721 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat lineage: two-literal watching, first-UIP conflict
+// analysis, VSIDS variable activity, phase saving, Luby restarts and
+// activity-based learned-clause reduction.
+//
+// It is the engine behind the oracle-guided SAT attack of Subramanyan et
+// al. that the OraP paper defends against, and the solver is deliberately
+// self-contained (stdlib only) so the whole attack stack reproduces
+// offline.
+package sat
+
+import "fmt"
+
+// Var is a 0-based propositional variable index.
+type Var int32
+
+// Lit is a literal: variable times two, plus one when negated.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign (neg=true ⇒ ¬v).
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as v<n> or ¬v<n>.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+// LBool is a three-valued boolean.
+type LBool int8
+
+// The three truth values.
+const (
+	False LBool = -1
+	Undef LBool = 0
+	True  LBool = 1
+)
+
+func boolToLBool(b bool) LBool {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Not returns the logical complement (Undef maps to itself).
+func (b LBool) Not() LBool { return -b }
+
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats carries solver counters, useful for the attack evaluations that
+// report solver effort.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by Lit
+
+	assigns  []LBool // per var
+	level    []int32
+	reason   []*clause
+	polarity []bool // saved phase per var
+	activity []float64
+	varInc   float64
+
+	heap     varHeap
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	seen       []bool
+	analyzeBuf []Lit
+
+	ok    bool
+	model []LBool
+
+	// MaxConflicts, when positive, bounds the total conflicts across the
+	// solver's lifetime; Solve returns ErrBudget once exceeded.
+	MaxConflicts int64
+
+	stats Stats
+}
+
+// ErrBudget is returned by Solve when MaxConflicts is exhausted.
+var ErrBudget = fmt.Errorf("sat: conflict budget exhausted")
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, ok: true}
+	s.heap.s = s
+	return s
+}
+
+// Stats returns a copy of the solver counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, Undef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // default phase: false (neg lit)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v)
+	return v
+}
+
+func (s *Solver) valueLit(l Lit) LBool {
+	v := s.assigns[l.Var()]
+	if l.Neg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Value returns the value of v in the most recent satisfying model.
+func (s *Solver) Value(v Var) LBool {
+	if int(v) < len(s.model) {
+		return s.model[v]
+	}
+	return Undef
+}
+
+// ValueLit returns the value of literal l in the most recent model.
+func (s *Solver) ValueLit(l Lit) LBool {
+	v := s.Value(l.Var())
+	if l.Neg() {
+		return v.Not()
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already in an unsatisfiable state (e.g. after adding an empty
+// or immediately conflicting clause).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Normalize: sort-unique, drop false lits, detect tautology.
+	norm := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= s.NumVars() {
+			panic(fmt.Sprintf("sat: clause uses unallocated variable %d", l.Var()))
+		}
+		switch s.valueLit(l) {
+		case True:
+			return true // satisfied at level 0
+		case False:
+			continue // drop
+		}
+		dup := false
+		for _, e := range norm {
+			if e == l {
+				dup = true
+				break
+			}
+			if e == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			norm = append(norm, l)
+		}
+	}
+	switch len(norm) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(norm[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: norm}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[l]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLBool(!l.Neg())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation and returns the conflicting clause,
+// or nil when no conflict arises.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		j := 0
+		var confl *clause
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == True {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == True {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.valueLit(first) == False {
+				confl = c
+				// Copy remaining watchers and stop.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return confl
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= 0.95 }
+
+func (s *Solver) claBump(c *clause) {
+	c.activity++
+}
+
+// analyze performs first-UIP conflict analysis and returns the learned
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, 0) // placeholder for asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.varBump(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Pick next literal on the trail that is marked.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Not()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Simple clause minimization: drop literals implied by the rest.
+	// Clear seen flags of dropped literals too, or later conflicts would
+	// inherit stale marks.
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.redundant(l) {
+			s.seen[l.Var()] = false
+		} else {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	// Backtrack level: second-highest decision level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	s.analyzeBuf = learnt
+	res := make([]Lit, len(learnt))
+	copy(res, learnt)
+	return res, btLevel
+}
+
+// redundant reports whether literal l in a learned clause is implied by a
+// reason clause whose other literals are all already in the clause or at
+// level 0 (one-step minimization).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.level[q.Var()] != 0 && !s.seen[q.Var()] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == False
+		s.assigns[v] = Undef
+		s.reason[v] = nil
+		s.heap.insertMaybe(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() Var {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assigns[v] == Undef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), uint(0)
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnt clauses by activity (simple selection by median split).
+	if len(s.learnts) < 100 {
+		return
+	}
+	// Compute median activity.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	med := quickSelectMedian(acts)
+	kept := s.learnts[:0]
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assigns[v] != Undef && s.reason[v] == c
+	}
+	removed := 0
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || locked(c) || c.activity > med || removed*2 >= len(acts) {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+			removed++
+		}
+	}
+	s.learnts = kept
+}
+
+func quickSelectMedian(a []float64) float64 {
+	b := append([]float64(nil), a...)
+	k := len(b) / 2
+	lo, hi := 0, len(b)-1
+	for lo < hi {
+		p := b[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for b[i] < p {
+				i++
+			}
+			for b[j] > p {
+				j--
+			}
+			if i <= j {
+				b[i], b[j] = b[j], b[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return b[k]
+}
+
+// Solve searches for a satisfying assignment under the given assumption
+// literals. It returns (true, nil) when satisfiable (the model is then
+// available via Value), (false, nil) when unsatisfiable under the
+// assumptions, and (false, ErrBudget) if MaxConflicts was exceeded.
+func (s *Solver) Solve(assumptions ...Lit) (bool, error) {
+	if !s.ok {
+		return false, nil
+	}
+	defer s.backtrackTo(0)
+
+	restarts := int64(0)
+	for {
+		budget := 100 * luby(restarts+1)
+		status, err := s.search(budget, assumptions)
+		if err != nil {
+			return false, err
+		}
+		if status != Undef {
+			if status == True {
+				s.model = append([]LBool(nil), s.assigns...)
+				return true, nil
+			}
+			return false, nil
+		}
+		restarts++
+		s.stats.Restarts++
+		if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+			return false, ErrBudget
+		}
+	}
+}
+
+// search runs CDCL until a result, a conflict budget is hit (Undef), or the
+// assumption set is refuted.
+func (s *Solver) search(budget int64, assumptions []Lit) (LBool, error) {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return False, nil
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Backtrack exactly to the asserting level. Assumption levels
+			// may be retracted here; the decision loop below re-enqueues
+			// them (learned clauses are global consequences, so this is
+			// sound).
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				if s.valueLit(learnt[0]) == False {
+					s.ok = false
+					return False, nil
+				}
+				if s.valueLit(learnt[0]) == Undef {
+					s.uncheckedEnqueue(learnt[0], nil)
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: 1}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.attach(c)
+				if s.valueLit(learnt[0]) == Undef {
+					s.uncheckedEnqueue(learnt[0], c)
+				}
+			}
+			s.varDecay()
+			if len(s.learnts) > 4000+len(s.clauses) {
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflicts >= budget {
+			s.backtrackTo(0)
+			return Undef, nil
+		}
+		if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+			return Undef, ErrBudget
+		}
+		// Extend with assumptions first.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case True:
+				// Already satisfied: open an empty decision level so the
+				// index keeps advancing.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case False:
+				return False, nil
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.uncheckedEnqueue(a, nil)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return True, nil
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), nil)
+	}
+}
+
+// varHeap is a max-heap of variables ordered by VSIDS activity.
+type varHeap struct {
+	s    *Solver
+	heap []Var
+	pos  []int32 // per var: index in heap, -1 when absent
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return h.s.activity[a] > h.s.activity[b]
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) ensure(v Var) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) insert(v Var) {
+	h.ensure(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) insertMaybe(v Var) { h.insert(v) }
+
+func (h *varHeap) update(v Var) {
+	h.ensure(v)
+	if h.pos[v] >= 0 {
+		h.up(int(h.pos[v]))
+	}
+}
+
+func (h *varHeap) pop() Var {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = int32(i)
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			break
+		}
+		c := l
+		if r := l + 1; r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = int32(i)
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = int32(i)
+}

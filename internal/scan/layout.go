@@ -1,0 +1,165 @@
+package scan
+
+import "fmt"
+
+// Cell identifies one element of a scan chain: either a key-register
+// (LFSR) cell or a normal circuit flip-flop.
+type Cell struct {
+	// IsKey marks key-register cells.
+	IsKey bool
+	// Index is the key-cell index (0..n-1) or flip-flop index.
+	Index int
+}
+
+// Layout is an explicit scan-chain ordering. The behavioural chip model
+// does not depend on the ordering (shift cycles are abstracted), but the
+// Section III countermeasure against the stem-suppression Trojan is a
+// *placement* rule — "all LFSR cells should be placed before normal
+// circuit flip-flops in the scan chains … interleaved" — and the Trojan's
+// bypass-mux payload is a function of this layout.
+type Layout struct {
+	Chains [][]Cell
+}
+
+// Validate checks that every key cell in [0, keyCells) and every flip-flop
+// in [0, ffs) appears exactly once across the chains.
+func (l Layout) Validate(keyCells, ffs int) error {
+	seenKey := make([]bool, keyCells)
+	seenFF := make([]bool, ffs)
+	for ci, chain := range l.Chains {
+		for _, c := range chain {
+			if c.IsKey {
+				if c.Index < 0 || c.Index >= keyCells {
+					return fmt.Errorf("scan: chain %d has key cell %d out of range", ci, c.Index)
+				}
+				if seenKey[c.Index] {
+					return fmt.Errorf("scan: key cell %d appears twice", c.Index)
+				}
+				seenKey[c.Index] = true
+			} else {
+				if c.Index < 0 || c.Index >= ffs {
+					return fmt.Errorf("scan: chain %d has flip-flop %d out of range", ci, c.Index)
+				}
+				if seenFF[c.Index] {
+					return fmt.Errorf("scan: flip-flop %d appears twice", c.Index)
+				}
+				seenFF[c.Index] = true
+			}
+		}
+	}
+	for i, s := range seenKey {
+		if !s {
+			return fmt.Errorf("scan: key cell %d missing from the layout", i)
+		}
+	}
+	for i, s := range seenFF {
+		if !s {
+			return fmt.Errorf("scan: flip-flop %d missing from the layout", i)
+		}
+	}
+	return nil
+}
+
+// InterleavedLayout builds the paper's recommended layout: key cells are
+// distributed round-robin over the chains, each placed before normal
+// flip-flops and interleaved with them, so every key cell directly drives
+// a normal flip-flop in its chain.
+func InterleavedLayout(keyCells, ffs, chains int) Layout {
+	if chains <= 0 {
+		chains = 1
+	}
+	out := Layout{Chains: make([][]Cell, chains)}
+	// Distribute both populations round-robin, then interleave per chain
+	// starting with a key cell.
+	var keysPer, ffsPer [][]int
+	keysPer = make([][]int, chains)
+	ffsPer = make([][]int, chains)
+	for i := 0; i < keyCells; i++ {
+		keysPer[i%chains] = append(keysPer[i%chains], i)
+	}
+	for i := 0; i < ffs; i++ {
+		ffsPer[i%chains] = append(ffsPer[i%chains], i)
+	}
+	for c := 0; c < chains; c++ {
+		ks, fs := keysPer[c], ffsPer[c]
+		var chain []Cell
+		for len(ks) > 0 || len(fs) > 0 {
+			if len(ks) > 0 {
+				chain = append(chain, Cell{IsKey: true, Index: ks[0]})
+				ks = ks[1:]
+			}
+			if len(fs) > 0 {
+				chain = append(chain, Cell{Index: fs[0]})
+				fs = fs[1:]
+			}
+		}
+		out.Chains[c] = chain
+	}
+	return out
+}
+
+// TailLayout builds the layout an attacker would prefer: all key cells
+// bunched at the end of the chains, where a single cut per chain bypasses
+// them. It exists to quantify what the countermeasure buys.
+func TailLayout(keyCells, ffs, chains int) Layout {
+	if chains <= 0 {
+		chains = 1
+	}
+	out := Layout{Chains: make([][]Cell, chains)}
+	for i := 0; i < ffs; i++ {
+		c := i % chains
+		out.Chains[c] = append(out.Chains[c], Cell{Index: i})
+	}
+	for i := 0; i < keyCells; i++ {
+		c := i % chains
+		out.Chains[c] = append(out.Chains[c], Cell{IsKey: true, Index: i})
+	}
+	return out
+}
+
+// BypassMuxCount returns the number of 2-to-1 multiplexers a scenario-(b)
+// Trojan needs to splice the key cells out of the chains: one for every
+// key cell that drives a normal flip-flop, plus one per chain whose
+// scan-out is driven by a key cell (the output still has to come from
+// somewhere once the cell is removed).
+func (l Layout) BypassMuxCount() int {
+	muxes := 0
+	for _, chain := range l.Chains {
+		for i, c := range chain {
+			if !c.IsKey {
+				continue
+			}
+			if i+1 < len(chain) && !chain[i+1].IsKey {
+				muxes++ // key cell feeds a normal flip-flop
+			}
+			if i+1 == len(chain) {
+				muxes++ // key cell feeds the scan-out port
+			}
+		}
+	}
+	return muxes
+}
+
+// KeyRunLengths returns the lengths of maximal runs of consecutive key
+// cells, a diagnostic for how interleaved a layout is (the
+// countermeasure wants runs of length 1).
+func (l Layout) KeyRunLengths() []int {
+	var runs []int
+	for _, chain := range l.Chains {
+		run := 0
+		for _, c := range chain {
+			if c.IsKey {
+				run++
+				continue
+			}
+			if run > 0 {
+				runs = append(runs, run)
+				run = 0
+			}
+		}
+		if run > 0 {
+			runs = append(runs, run)
+		}
+	}
+	return runs
+}

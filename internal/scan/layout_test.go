@@ -1,0 +1,76 @@
+package scan
+
+import "testing"
+
+func TestInterleavedLayoutValid(t *testing.T) {
+	for _, tc := range []struct{ keys, ffs, chains int }{
+		{8, 32, 4}, {128, 1000, 16}, {3, 1, 2}, {5, 0, 1},
+	} {
+		l := InterleavedLayout(tc.keys, tc.ffs, tc.chains)
+		if err := l.Validate(tc.keys, tc.ffs); err != nil {
+			t.Errorf("keys=%d ffs=%d chains=%d: %v", tc.keys, tc.ffs, tc.chains, err)
+		}
+	}
+}
+
+func TestInterleavedLayoutMaximizesBypassCost(t *testing.T) {
+	// With interleaving, every key cell drives a normal flip-flop (or the
+	// scan-out port), so the scenario-(b) Trojan pays one mux per cell —
+	// the countermeasure's whole point.
+	const keys, ffs, chains = 128, 1024, 8
+	l := InterleavedLayout(keys, ffs, chains)
+	if got := l.BypassMuxCount(); got != keys {
+		t.Fatalf("interleaved bypass muxes = %d, want %d (one per key cell)", got, keys)
+	}
+	// Runs of key cells all have length 1.
+	for _, r := range l.KeyRunLengths() {
+		if r != 1 {
+			t.Fatalf("interleaved layout has a key run of length %d", r)
+		}
+	}
+}
+
+func TestTailLayoutIsCheapToBypass(t *testing.T) {
+	// The attacker-preferred layout: key cells bunched at chain tails
+	// need only one mux per chain.
+	const keys, ffs, chains = 128, 1024, 8
+	l := TailLayout(keys, ffs, chains)
+	if err := l.Validate(keys, ffs); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.BypassMuxCount(); got != chains {
+		t.Fatalf("tail layout bypass muxes = %d, want %d (one per chain)", got, chains)
+	}
+	// That is a 16× payload gap — the quantified value of the placement
+	// guideline.
+	inter := InterleavedLayout(keys, ffs, chains)
+	if inter.BypassMuxCount() <= 4*l.BypassMuxCount() {
+		t.Fatalf("countermeasure gain too small: %d vs %d", inter.BypassMuxCount(), l.BypassMuxCount())
+	}
+}
+
+func TestLayoutValidateCatchesErrors(t *testing.T) {
+	l := Layout{Chains: [][]Cell{{{IsKey: true, Index: 0}, {Index: 0}}}}
+	if err := l.Validate(2, 1); err == nil {
+		t.Error("missing key cell not caught")
+	}
+	l = Layout{Chains: [][]Cell{{{IsKey: true, Index: 0}, {IsKey: true, Index: 0}}}}
+	if err := l.Validate(1, 0); err == nil {
+		t.Error("duplicate key cell not caught")
+	}
+	l = Layout{Chains: [][]Cell{{{Index: 5}}}}
+	if err := l.Validate(0, 1); err == nil {
+		t.Error("out-of-range flip-flop not caught")
+	}
+}
+
+func TestKeyRunLengths(t *testing.T) {
+	l := Layout{Chains: [][]Cell{{
+		{IsKey: true, Index: 0}, {IsKey: true, Index: 1}, {Index: 0},
+		{IsKey: true, Index: 2}, {Index: 1},
+	}}}
+	runs := l.KeyRunLengths()
+	if len(runs) != 2 || runs[0] != 2 || runs[1] != 1 {
+		t.Fatalf("runs = %v, want [2 1]", runs)
+	}
+}

@@ -1,0 +1,117 @@
+package scan
+
+import "fmt"
+
+// SetLayout attaches an explicit scan-chain layout to the chip, enabling
+// the cycle-accurate shift interface (ShiftCycle). The layout must cover
+// every flip-flop, plus every key-register cell when the chip is OraP
+// protected (the register sits in the chains by design); a conventional
+// chip's layout must contain flip-flops only.
+func (ch *Chip) SetLayout(l Layout) error {
+	keyCells := ch.keyReg.Len()
+	if ch.cfg.Protection == None {
+		keyCells = 0
+	}
+	if err := l.Validate(keyCells, len(ch.ff)); err != nil {
+		return err
+	}
+	ch.layout = &l
+	return nil
+}
+
+// Layout returns the attached layout, if any.
+func (ch *Chip) Layout() *Layout { return ch.layout }
+
+// cellValue reads one chain cell from the chip state.
+func (ch *Chip) cellValue(c Cell) bool {
+	if c.IsKey {
+		return ch.keyReg.Bit(c.Index)
+	}
+	return ch.ff[c.Index]
+}
+
+// setCellValue writes one chain cell.
+func (ch *Chip) setCellValue(c Cell, v bool) {
+	if c.IsKey {
+		ch.keyReg.SetBit(c.Index, v)
+	} else {
+		ch.ff[c.Index] = v
+	}
+}
+
+// ShiftCycle performs one scan shift clock: every chain takes its next
+// input bit at the head, all cells move one position toward the tail, and
+// the previous tail values appear at the scan-out pins. The chip must be
+// in scan mode and must have a layout attached. len(in) must equal the
+// number of chains; the returned slice has the same length.
+//
+// This is the cycle-accurate view of the abstract ScanInFFs/ScanOutFFs
+// operations: shifting length-of-chain cycles loads or unloads a chain
+// completely. Because the key-register cells sit in the chains, they
+// shift like any other cell — an OraP chip's cleared register can be
+// loaded with arbitrary attacker values, just never with the secret.
+func (ch *Chip) ShiftCycle(in []bool) ([]bool, error) {
+	if !ch.se {
+		return nil, fmt.Errorf("scan: ShiftCycle outside scan mode")
+	}
+	if ch.layout == nil {
+		return nil, fmt.Errorf("scan: no layout attached (SetLayout)")
+	}
+	if len(in) != len(ch.layout.Chains) {
+		return nil, fmt.Errorf("scan: %d scan-in bits for %d chains", len(in), len(ch.layout.Chains))
+	}
+	out := make([]bool, len(ch.layout.Chains))
+	for ci, chain := range ch.layout.Chains {
+		if len(chain) == 0 {
+			continue
+		}
+		out[ci] = ch.cellValue(chain[len(chain)-1])
+		for i := len(chain) - 1; i > 0; i-- {
+			ch.setCellValue(chain[i], ch.cellValue(chain[i-1]))
+		}
+		ch.setCellValue(chain[0], in[ci])
+	}
+	if ch.cfg.Protection != None {
+		ch.unlocked = false
+	}
+	return out, nil
+}
+
+// ShiftInPattern loads full chain contents through repeated ShiftCycle
+// calls. pattern[ci][j] is the value that ends up in chain ci's cell j
+// (head first). All chains are shifted in lock-step for max(len)
+// cycles, padding shorter chains with zeros.
+func (ch *Chip) ShiftInPattern(pattern [][]bool) error {
+	if ch.layout == nil {
+		return fmt.Errorf("scan: no layout attached (SetLayout)")
+	}
+	if len(pattern) != len(ch.layout.Chains) {
+		return fmt.Errorf("scan: %d chain patterns for %d chains", len(pattern), len(ch.layout.Chains))
+	}
+	maxLen := 0
+	for ci, chain := range ch.layout.Chains {
+		if len(pattern[ci]) != len(chain) {
+			return fmt.Errorf("scan: chain %d pattern has %d bits for %d cells", ci, len(pattern[ci]), len(chain))
+		}
+		if len(chain) > maxLen {
+			maxLen = len(chain)
+		}
+	}
+	// After T cycles, chain cell j holds the bit inserted at cycle
+	// T-1-j, so the value destined for the tail enters first.
+	in := make([]bool, len(pattern))
+	for cycle := 0; cycle < maxLen; cycle++ {
+		for ci := range pattern {
+			idx := maxLen - 1 - cycle
+			if idx < len(pattern[ci]) {
+				in[ci] = pattern[ci][idx]
+			} else {
+				in[ci] = false // padding for shorter chains
+			}
+		}
+		if _, err := ch.ShiftCycle(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package scan
+
+import (
+	"testing"
+
+	"orap/internal/rng"
+)
+
+// shiftChip builds an OraPBasic chip with a layout over its 4 flip-flops
+// and 6 key cells.
+func shiftChip(t *testing.T, chains int) *Chip {
+	t.Helper()
+	_, l := testCore(t, 40)
+	cfg := basicConfig(t, l)
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := InterleavedLayout(l.Circuit.NumKeys(), cfg.NumFFs(), chains)
+	if err := ch.SetLayout(layout); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestShiftCycleRequiresScanModeAndLayout(t *testing.T) {
+	ch := shiftChip(t, 2)
+	if _, err := ch.ShiftCycle([]bool{true, false}); err == nil {
+		t.Fatal("shift outside scan mode accepted")
+	}
+	ch.SetScanEnable(true)
+	if _, err := ch.ShiftCycle([]bool{true}); err == nil {
+		t.Fatal("wrong scan-in width accepted")
+	}
+	_, l := testCore(t, 41)
+	bare, _ := New(basicConfig(t, l))
+	bare.SetScanEnable(true)
+	if _, err := bare.ShiftCycle([]bool{true}); err == nil {
+		t.Fatal("shift without layout accepted")
+	}
+}
+
+func TestShiftInPatternLoadsChains(t *testing.T) {
+	ch := shiftChip(t, 2)
+	ch.SetScanEnable(true)
+	layout := ch.Layout()
+	r := rng.New(42)
+	pattern := make([][]bool, len(layout.Chains))
+	for ci, chain := range layout.Chains {
+		pattern[ci] = make([]bool, len(chain))
+		r.Bits(pattern[ci])
+	}
+	if err := ch.ShiftInPattern(pattern); err != nil {
+		t.Fatal(err)
+	}
+	for ci, chain := range layout.Chains {
+		for j, cell := range chain {
+			if got := ch.cellValue(cell); got != pattern[ci][j] {
+				t.Fatalf("chain %d cell %d: got %v want %v (cell %+v)", ci, j, got, pattern[ci][j], cell)
+			}
+		}
+	}
+}
+
+func TestShiftOutRecoversContents(t *testing.T) {
+	// Shifting N more cycles returns the loaded values at the scan-out
+	// pins, tail first.
+	ch := shiftChip(t, 1)
+	ch.SetScanEnable(true)
+	chain := ch.Layout().Chains[0]
+	pattern := [][]bool{make([]bool, len(chain))}
+	for i := range pattern[0] {
+		pattern[0][i] = i%3 == 0
+	}
+	if err := ch.ShiftInPattern(pattern); err != nil {
+		t.Fatal(err)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		out, err := ch.ShiftCycle([]bool{false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != pattern[0][i] {
+			t.Fatalf("scan-out cycle for cell %d: got %v want %v", i, out[0], pattern[0][i])
+		}
+	}
+}
+
+func TestShiftTouchesKeyRegisterCells(t *testing.T) {
+	// The key register is in the chains by design: shifting must move
+	// values through its cells (that is why local reset suppression
+	// cannot simply cut scan enable).
+	ch := shiftChip(t, 1)
+	ch.SetScanEnable(true)
+	ones := [][]bool{make([]bool, len(ch.Layout().Chains[0]))}
+	for i := range ones[0] {
+		ones[0][i] = true
+	}
+	if err := ch.ShiftInPattern(ones); err != nil {
+		t.Fatal(err)
+	}
+	allSet := true
+	for _, b := range ch.Key() {
+		allSet = allSet && b
+	}
+	if !allSet {
+		t.Fatal("shifting did not reach the key-register cells")
+	}
+}
+
+func TestSetLayoutValidates(t *testing.T) {
+	_, l := testCore(t, 43)
+	ch, _ := New(basicConfig(t, l))
+	bad := Layout{Chains: [][]Cell{{{Index: 0}}}} // missing cells
+	if err := ch.SetLayout(bad); err == nil {
+		t.Fatal("incomplete layout accepted")
+	}
+	// A conventional chip's layout must not contain key cells.
+	cfg := Config{Core: l.Circuit, RealPIs: 5, RealPOs: 1, Protection: None, Key: l.Key}
+	conv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withKeys := InterleavedLayout(l.Circuit.NumKeys(), cfg.NumFFs(), 1)
+	if err := conv.SetLayout(withKeys); err == nil {
+		t.Fatal("conventional chip accepted key cells in its chains")
+	}
+	ffOnly := InterleavedLayout(0, cfg.NumFFs(), 1)
+	if err := conv.SetLayout(ffOnly); err != nil {
+		t.Fatal(err)
+	}
+}

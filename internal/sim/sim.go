@@ -1,0 +1,297 @@
+// Package sim evaluates combinational circuits.
+//
+// The workhorse is the 64-way bit-parallel simulator: every node carries a
+// vector of 64-bit words, so one pass over the netlist evaluates 64 input
+// patterns per word. This is the engine behind the Hamming-distance
+// corruptibility measurements of Table I (hundreds of thousands of
+// pseudorandom patterns), the fault simulator, and the attack oracles.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"orap/internal/netlist"
+	"orap/internal/rng"
+)
+
+// Parallel is a reusable bit-parallel evaluator for a fixed circuit and a
+// fixed number of 64-pattern words.
+type Parallel struct {
+	c     *netlist.Circuit
+	order []int
+	words int
+	vals  []uint64 // node-major: vals[id*words : (id+1)*words]
+}
+
+// NewParallel builds an evaluator for c carrying words×64 patterns.
+func NewParallel(c *netlist.Circuit, words int) (*Parallel, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("sim: words must be positive, got %d", words)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Parallel{
+		c:     c,
+		order: order,
+		words: words,
+		vals:  make([]uint64, len(c.Gates)*words),
+	}, nil
+}
+
+// Words returns the number of 64-pattern words per node.
+func (p *Parallel) Words() int { return p.words }
+
+// Patterns returns the number of patterns evaluated per run (words × 64).
+func (p *Parallel) Patterns() int { return p.words * 64 }
+
+// Value returns the value words of node id. The returned slice aliases the
+// simulator's buffer; it is valid until the next Run and must not be
+// modified except for input nodes via SetInput.
+func (p *Parallel) Value(id int) []uint64 {
+	return p.vals[id*p.words : (id+1)*p.words]
+}
+
+// SetInput copies the given pattern words into input node id.
+func (p *Parallel) SetInput(id int, w []uint64) {
+	copy(p.Value(id), w)
+}
+
+// SetInputConst sets all patterns of input node id to the same bit.
+func (p *Parallel) SetInputConst(id int, v bool) {
+	var word uint64
+	if v {
+		word = ^uint64(0)
+	}
+	dst := p.Value(id)
+	for i := range dst {
+		dst[i] = word
+	}
+}
+
+// Run evaluates every gate in topological order. Input node values must
+// have been set beforehand; values of non-input nodes are overwritten.
+func (p *Parallel) Run() {
+	W := p.words
+	for _, id := range p.order {
+		g := &p.c.Gates[id]
+		dst := p.vals[id*W : (id+1)*W]
+		switch g.Type {
+		case netlist.Input:
+			// Values were provided by the caller.
+		case netlist.Const0:
+			for i := range dst {
+				dst[i] = 0
+			}
+		case netlist.Const1:
+			for i := range dst {
+				dst[i] = ^uint64(0)
+			}
+		case netlist.Buf:
+			src := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
+			copy(dst, src)
+		case netlist.Not:
+			src := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
+			for i := range dst {
+				dst[i] = ^src[i]
+			}
+		case netlist.And, netlist.Nand:
+			first := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
+			copy(dst, first)
+			for _, f := range g.Fanin[1:] {
+				src := p.vals[f*W : f*W+W]
+				for i := range dst {
+					dst[i] &= src[i]
+				}
+			}
+			if g.Type == netlist.Nand {
+				for i := range dst {
+					dst[i] = ^dst[i]
+				}
+			}
+		case netlist.Or, netlist.Nor:
+			first := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
+			copy(dst, first)
+			for _, f := range g.Fanin[1:] {
+				src := p.vals[f*W : f*W+W]
+				for i := range dst {
+					dst[i] |= src[i]
+				}
+			}
+			if g.Type == netlist.Nor {
+				for i := range dst {
+					dst[i] = ^dst[i]
+				}
+			}
+		case netlist.Xor, netlist.Xnor:
+			first := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
+			copy(dst, first)
+			for _, f := range g.Fanin[1:] {
+				src := p.vals[f*W : f*W+W]
+				for i := range dst {
+					dst[i] ^= src[i]
+				}
+			}
+			if g.Type == netlist.Xnor {
+				for i := range dst {
+					dst[i] = ^dst[i]
+				}
+			}
+		}
+	}
+}
+
+// RandomizeInputs fills every primary input with pseudo-random patterns
+// from r, leaving key inputs untouched.
+func (p *Parallel) RandomizeInputs(r *rng.Stream) {
+	for _, id := range p.c.PIs {
+		r.Words(p.Value(id))
+	}
+}
+
+// SetKey applies the given key bits to the circuit's key inputs, each bit
+// replicated across all patterns. len(key) must equal the key width.
+func (p *Parallel) SetKey(key []bool) error {
+	if len(key) != len(p.c.Keys) {
+		return fmt.Errorf("sim: key width %d does not match circuit key width %d", len(key), len(p.c.Keys))
+	}
+	for i, id := range p.c.Keys {
+		p.SetInputConst(id, key[i])
+	}
+	return nil
+}
+
+// Eval evaluates the circuit on a single pattern given as primary-input and
+// key bit slices, returning the primary output bits in declaration order.
+func Eval(c *netlist.Circuit, pi, key []bool) ([]bool, error) {
+	if len(pi) != c.NumInputs() {
+		return nil, fmt.Errorf("sim: got %d primary input bits, circuit has %d", len(pi), c.NumInputs())
+	}
+	if len(key) != c.NumKeys() {
+		return nil, fmt.Errorf("sim: got %d key bits, circuit has %d", len(key), c.NumKeys())
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]bool, len(c.Gates))
+	for i, id := range c.PIs {
+		vals[id] = pi[i]
+	}
+	for i, id := range c.Keys {
+		vals[id] = key[i]
+	}
+	for _, id := range order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+		case netlist.Const0:
+			vals[id] = false
+		case netlist.Const1:
+			vals[id] = true
+		case netlist.Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case netlist.Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Nand)
+		case netlist.Or, netlist.Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Nor)
+		case netlist.Xor, netlist.Xnor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Xnor)
+		}
+	}
+	out := make([]bool, len(c.POs))
+	for i, id := range c.POs {
+		out[i] = vals[id]
+	}
+	return out, nil
+}
+
+// EvalAll evaluates a single pattern and returns the value of every node.
+// It is used by attacks that need internal visibility (e.g. sensitization)
+// and by tests.
+func EvalAll(c *netlist.Circuit, assign []bool) ([]bool, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if len(assign) != len(c.Gates) {
+		return nil, fmt.Errorf("sim: EvalAll needs one seed value per node (%d), got %d", len(c.Gates), len(assign))
+	}
+	vals := append([]bool(nil), assign...)
+	for _, id := range order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+		case netlist.Const0:
+			vals[id] = false
+		case netlist.Const1:
+			vals[id] = true
+		case netlist.Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case netlist.Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Nand)
+		case netlist.Or, netlist.Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Nor)
+		case netlist.Xor, netlist.Xnor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v != vals[f]
+			}
+			vals[id] = v != (g.Type == netlist.Xnor)
+		}
+	}
+	return vals, nil
+}
+
+// PopCount returns the number of set bits across the first n bits of w.
+func PopCount(w []uint64, n int) int {
+	total := 0
+	full := n / 64
+	for i := 0; i < full && i < len(w); i++ {
+		total += bits.OnesCount64(w[i])
+	}
+	if rem := n % 64; rem > 0 && full < len(w) {
+		total += bits.OnesCount64(w[full] & (1<<uint(rem) - 1))
+	}
+	return total
+}
+
+// DiffBits XORs two equal-length word vectors and counts differing bits
+// among the first n patterns.
+func DiffBits(a, b []uint64, n int) int {
+	total := 0
+	full := n / 64
+	for i := 0; i < full; i++ {
+		total += bits.OnesCount64(a[i] ^ b[i])
+	}
+	if rem := n % 64; rem > 0 {
+		total += bits.OnesCount64((a[full] ^ b[full]) & (1<<uint(rem) - 1))
+	}
+	return total
+}
