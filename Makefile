@@ -1,0 +1,36 @@
+# Standard development targets; CI runs `make ci`.
+
+GO ?= go
+
+# Packages that gained goroutines in the worker-pool work: every PR runs
+# them under the race detector.
+RACE_PKGS := ./internal/par ./internal/rng ./internal/sim ./internal/metrics ./internal/faultsim ./internal/exp
+
+.PHONY: all vet build test race bench bench-parallel ci
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short race leg: -short skips the 2e6-draw RNG disjointness scan, which
+# is slow under the race runtime and single-goroutine anyway.
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# The serial-vs-parallel pairs behind the Performance sections of README
+# and EXPERIMENTS.md.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'Serial|Parallel' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'CloneRelease|NewParallelNoPool' -benchmem ./internal/sim
+
+ci: vet build test race

@@ -11,23 +11,40 @@ package orap_test
 import (
 	"testing"
 
+	"orap/internal/benchgen"
 	"orap/internal/exp"
+	"orap/internal/faultsim"
+	"orap/internal/lock"
+	"orap/internal/metrics"
+	"orap/internal/rng"
 )
 
+// The reduced-scale knobs for every benchmark live here so the whole
+// harness is retuned in one place.
 const (
+	// benchScale is the default circuit scale for benchmarks.
 	benchScale = 0.05
-	benchSeed  = 2020
+	// benchTableIIScale is Table II's lighter scale: its flow runs full
+	// ATPG per circuit, which dominates everything else at benchScale
+	// (mirroring orapbench's reduced ATPG default).
+	benchTableIIScale = 0.01
+	benchSeed         = 2020
 )
 
 // BenchmarkTableI regenerates Table I (HD %, area overhead %, delay
 // overhead % under OraP + weighted logic locking) on scaled versions of
 // all eight benchmark circuits. Reported metrics: the mean HD and mean
 // area overhead across circuits.
-func BenchmarkTableI(b *testing.B) {
+//
+// The Serial/Parallel pair measures the worker-pool speedup on the same
+// workload (Workers 1 vs all cores); the tables they produce are
+// identical, which the exp determinism tests assert.
+func benchmarkTableI(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.TableI(exp.TableIOptions{
 			Scale:    benchScale,
 			Patterns: 1 << 14,
+			Workers:  workers,
 			Seed:     benchSeed,
 		})
 		if err != nil {
@@ -43,6 +60,70 @@ func BenchmarkTableI(b *testing.B) {
 	}
 }
 
+func BenchmarkTableI(b *testing.B)         { benchmarkTableI(b, 0) }
+func BenchmarkTableISerial(b *testing.B)   { benchmarkTableI(b, 1) }
+func BenchmarkTableIParallel(b *testing.B) { benchmarkTableI(b, 0) }
+
+// BenchmarkHD measures the Hamming-distance kernel alone (one locked
+// circuit, many pattern blocks) serial vs parallel.
+func benchmarkHD(b *testing.B, workers int) {
+	prof, err := benchgen.ProfileByName("b20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuit, err := benchgen.Generate(prof.Scale(benchScale), benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lock.Weighted(circuit, lock.WeightedOptions{KeyBits: 48, ControlWidth: 3, Rand: rng.New(benchSeed)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := metrics.HammingDistance(l.Circuit, l.Key, metrics.HDOptions{
+			Patterns:  1 << 15,
+			WrongKeys: 4,
+			Workers:   workers,
+			Rand:      rng.New(benchSeed + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HDPercent, "HD%")
+	}
+}
+
+func BenchmarkHDSerial(b *testing.B)   { benchmarkHD(b, 1) }
+func BenchmarkHDParallel(b *testing.B) { benchmarkHD(b, 0) }
+
+// BenchmarkFaultSim measures the PPSFP random fault-simulation kernel
+// serial vs parallel on one generated circuit.
+func benchmarkFaultSim(b *testing.B, workers int) {
+	prof, err := benchgen.ProfileByName("b20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuit, err := benchgen.Generate(prof.Scale(benchScale), benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := faultsim.CollapseFaults(circuit)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := faultsim.New(circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Workers = workers
+		res := s.RunRandom(faults, 16, rng.New(benchSeed+2))
+		b.ReportMetric(res.Coverage(), "coverage%")
+	}
+}
+
+func BenchmarkFaultSimSerial(b *testing.B)   { benchmarkFaultSim(b, 1) }
+func BenchmarkFaultSimParallel(b *testing.B) { benchmarkFaultSim(b, 0) }
+
 // BenchmarkTableII regenerates Table II (stuck-at fault coverage and
 // redundant+aborted fault counts, original vs protected). The coverage
 // delta (protected − original, averaged) is reported; the paper's
@@ -54,7 +135,7 @@ func BenchmarkTableII(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.TableII(exp.TableIIOptions{
-			Scale:    0.01,
+			Scale:    benchTableIIScale,
 			Circuits: circuits,
 			Seed:     benchSeed,
 		})
@@ -158,7 +239,7 @@ func BenchmarkXorTreeSweep(b *testing.B) {
 // (Table I's standard choice).
 func BenchmarkCtrlWidthSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.CtrlWidthSweep(benchSeed, []int{1, 2, 3, 5})
+		rows, err := exp.CtrlWidthSweep(benchSeed, []int{1, 2, 3, 5}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +274,7 @@ func BenchmarkOtherAttacks(b *testing.B) {
 // metric: HD at the largest swept key size (expected just under 50%).
 func BenchmarkKeySizeSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.KeySizeSweep(benchSeed, []int{12, 48, 96})
+		rows, err := exp.KeySizeSweep(benchSeed, []int{12, 48, 96}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -31,6 +31,7 @@ func main() {
 		randomBlocks = flag.Int("randblocks", 32, "random fault-simulation blocks (64 patterns each) before ATPG")
 		budget       = flag.Int64("conflicts", 0, "SAT conflict budget per fault (0 = high effort)")
 		seed         = flag.Uint64("seed", 1, "random seed")
+		workers      = flag.Int("workers", 0, "fault-simulation worker pool size (0 = all cores, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 
 	sim, err := faultsim.New(circuit)
 	fatal(err)
+	sim.Workers = *workers
 	faults := faultsim.CollapseFaults(circuit)
 	fmt.Printf("collapsed fault list: %d faults\n", len(faults))
 

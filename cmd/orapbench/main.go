@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", 2020, "experiment seed")
 		patterns = flag.Int("patterns", 0, "HD pattern count (0 = default, a few hundred thousand)")
 		circuits = flag.String("circuits", "", "comma-separated benchmark subset (default: all eight)")
+		workers  = flag.Int("workers", 0, "worker pool size for the simulation hot paths (0 = all cores, 1 = serial); tables are identical at any setting")
 	)
 	flag.Parse()
 	scaleExplicit := false
@@ -75,6 +76,7 @@ func main() {
 				Scale:    *scale,
 				Patterns: *patterns,
 				Circuits: subset,
+				Workers:  *workers,
 				Seed:     *seed,
 			})
 			if err != nil {
@@ -89,6 +91,7 @@ func main() {
 			rows, err := exp.TableII(exp.TableIIOptions{
 				Scale:    atpgScale,
 				Circuits: subset,
+				Workers:  *workers,
 				Seed:     *seed,
 			})
 			if err != nil {
@@ -100,7 +103,7 @@ func main() {
 	}
 	if want("attacks") {
 		run("Section II-A — oracle-guided attacks vs oracle protection", func() error {
-			rows, err := exp.AttackStudy(exp.AttackStudyOptions{Seed: *seed})
+			rows, err := exp.AttackStudy(exp.AttackStudyOptions{Workers: *workers, Seed: *seed})
 			if err != nil {
 				return err
 			}
@@ -120,7 +123,7 @@ func main() {
 	}
 	if want("scaling") {
 		run("Ablation — SAT-attack iterations vs defense and key width", func() error {
-			rows, err := exp.SATScaling(exp.SATScalingOptions{Seed: *seed})
+			rows, err := exp.SATScaling(exp.SATScalingOptions{Workers: *workers, Seed: *seed})
 			if err != nil {
 				return err
 			}
@@ -150,7 +153,7 @@ func main() {
 	}
 	if want("keysize") {
 		run("Ablation — HD saturation vs key size (the paper's stopping rule)", func() error {
-			rows, err := exp.KeySizeSweep(*seed, nil)
+			rows, err := exp.KeySizeSweep(*seed, nil, *workers)
 			if err != nil {
 				return err
 			}
@@ -160,7 +163,7 @@ func main() {
 	}
 	if want("ctrl") {
 		run("Ablation — HD vs weighted-locking control-gate width", func() error {
-			rows, err := exp.CtrlWidthSweep(*seed, nil)
+			rows, err := exp.CtrlWidthSweep(*seed, nil, *workers)
 			if err != nil {
 				return err
 			}

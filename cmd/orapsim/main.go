@@ -24,6 +24,7 @@ import (
 	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
+	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/scan"
 	"orap/internal/sim"
@@ -47,6 +48,7 @@ func main() {
 		pins       = flag.Int("pins", -1, "package-pin inputs (-1 = all)")
 		pinOuts    = flag.Int("pinouts", -1, "package-pin outputs (-1 = all)")
 		seed       = flag.Uint64("seed", 1, "random seed for the scheme synthesis")
+		workers    = flag.Int("workers", 0, "worker pool size for reference-response simulation (0 = all cores)")
 	)
 	flag.Var(&queries, "query", "input pattern to scan in (repeatable); random patterns are used when none given")
 	flag.Parse()
@@ -122,15 +124,23 @@ func main() {
 		fmt.Printf("trojan: shadow register leaked %s\n", bits(leaked))
 	}
 
-	// Attacker session.
+	// Attacker session. The chip itself is stateful and must be queried
+	// serially, but the correct reference responses are independent per
+	// pattern, so they are simulated up front on the worker pool.
 	o := oracle.NewScan(chip)
 	pats := patterns(queries, locked, *seed)
+	locked.MustTopoOrder() // warm the lazy cache before concurrent Evals
+	wants := make([][]bool, len(pats))
+	fatal(par.ForEach(*workers, len(pats), func(i int) error {
+		w, err := sim.Eval(locked, pats[i], kb)
+		wants[i] = w
+		return err
+	}))
 	fmt.Printf("\nattacker: %d scan queries (scan in – capture – scan out)\n", len(pats))
 	for qi, x := range pats {
 		resp, err := o.Query(x)
 		fatal(err)
-		want, err := sim.Eval(locked, x, kb)
-		fatal(err)
+		want := wants[qi]
 		diff := 0
 		for i := range resp {
 			if resp[i] != want[i] {

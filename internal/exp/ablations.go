@@ -9,6 +9,7 @@ import (
 	"orap/internal/lock"
 	"orap/internal/metrics"
 	"orap/internal/oracle"
+	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/trojan"
 )
@@ -29,6 +30,11 @@ type SATScalingRow struct {
 type SATScalingOptions struct {
 	// KeyWidths lists the widths to sweep (default 4, 6, 8, 10).
 	KeyWidths []int
+	// Workers bounds the worker pool sweeping key widths concurrently
+	// (0 = all cores, 1 = serial). Each width owns a named stream which
+	// its defenses consume in a fixed order, so results do not depend on
+	// it.
+	Workers int
 	// Seed drives every random choice.
 	Seed uint64
 }
@@ -50,8 +56,17 @@ func SATScaling(opts SATScalingOptions) ([]SATScalingRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []SATScalingRow
-	for _, w := range widths {
+	// Widths fan out across the pool; the defenses inside one width stay
+	// serial because they draw from the width's shared stream in order.
+	// The carrier circuit is shared read-only, so its lazy caches are
+	// warmed before the fan-out.
+	circuit.MustTopoOrder()
+	if _, err := circuit.Levels(); err != nil {
+		return nil, err
+	}
+	perWidth := make([][]SATScalingRow, len(widths))
+	err = par.ForEach(opts.Workers, len(widths), func(wi int) error {
+		w := widths[wi]
 		type defense struct {
 			name string
 			mk   func() (*lock.Locked, error)
@@ -69,11 +84,11 @@ func SATScaling(opts SATScalingOptions) ([]SATScalingRow, error) {
 		for _, d := range defs {
 			l, err := d.mk()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			o, err := oracle.NewComb(circuit, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := attack.SAT(l.Circuit, o, attack.Budgets{MaxIterations: 1 << 14})
 			row := SATScalingRow{Defense: d.name, KeyBits: l.Circuit.NumKeys()}
@@ -83,10 +98,18 @@ func SATScaling(opts SATScalingOptions) ([]SATScalingRow, error) {
 			} else if err == attack.ErrIterationBudget {
 				row.Iterations = res.Iterations
 			} else {
-				return nil, err
+				return err
 			}
-			rows = append(rows, row)
+			perWidth[wi] = append(perWidth[wi], row)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SATScalingRow
+	for _, wr := range perWidth {
+		rows = append(rows, wr...)
 	}
 	return rows, nil
 }
@@ -180,8 +203,10 @@ type CtrlWidthRow struct {
 // CtrlWidthSweep measures HD as a function of the weighted-locking
 // control gate width on a mid-size generated circuit, reproducing why
 // Table I uses 3-input control gates for most circuits (wider gates
-// actuate more but cost more area).
-func CtrlWidthSweep(seed uint64, widths []int) ([]CtrlWidthRow, error) {
+// actuate more but cost more area). Widths run concurrently on up to
+// workers workers (0 = all cores); each owns named streams, so the rows
+// do not depend on the pool size.
+func CtrlWidthSweep(seed uint64, widths []int, workers int) ([]CtrlWidthRow, error) {
 	if len(widths) == 0 {
 		widths = []int{1, 2, 3, 5}
 	}
@@ -194,8 +219,15 @@ func CtrlWidthSweep(seed uint64, widths []int) ([]CtrlWidthRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []CtrlWidthRow
-	for _, w := range widths {
+	// The carrier circuit is shared read-only across widths: warm its
+	// lazy caches before the fan-out.
+	circuit.MustTopoOrder()
+	if _, err := circuit.Levels(); err != nil {
+		return nil, err
+	}
+	rows := make([]CtrlWidthRow, len(widths))
+	err = par.ForEach(workers, len(widths), func(i int) error {
+		w := widths[i]
 		keyBits := 24
 		l, err := lock.Weighted(circuit, lock.WeightedOptions{
 			KeyBits:      keyBits,
@@ -204,17 +236,22 @@ func CtrlWidthSweep(seed uint64, widths []int) ([]CtrlWidthRow, error) {
 			Rand:         rng.NewNamed(seed, fmt.Sprintf("ctrl/%d", w)),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hd, err := metrics.HammingDistance(l.Circuit, l.Key, metrics.HDOptions{
 			Patterns:  1 << 13,
 			WrongKeys: 6,
+			Workers:   workers,
 			Rand:      rng.NewNamed(seed, fmt.Sprintf("ctrl/hd/%d", w)),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, CtrlWidthRow{ControlWidth: w, HDPercent: hd.HDPercent})
+		rows[i] = CtrlWidthRow{ControlWidth: w, HDPercent: hd.HDPercent}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -241,7 +278,9 @@ type KeySizeRow struct {
 
 // KeySizeSweep measures HD against the key (LFSR) size on one generated
 // circuit, exposing the saturation the paper's stopping rule relies on.
-func KeySizeSweep(seed uint64, sizes []int) ([]KeySizeRow, error) {
+// Sizes run concurrently on up to workers workers (0 = all cores); each
+// owns named streams, so the rows do not depend on the pool size.
+func KeySizeSweep(seed uint64, sizes []int, workers int) ([]KeySizeRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{6, 12, 24, 48, 96}
 	}
@@ -254,25 +293,35 @@ func KeySizeSweep(seed uint64, sizes []int) ([]KeySizeRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []KeySizeRow
-	for _, n := range sizes {
+	circuit.MustTopoOrder()
+	if _, err := circuit.Levels(); err != nil {
+		return nil, err
+	}
+	rows := make([]KeySizeRow, len(sizes))
+	err = par.ForEach(workers, len(sizes), func(i int) error {
+		n := sizes[i]
 		l, err := lock.Weighted(circuit, lock.WeightedOptions{
 			KeyBits:      n,
 			ControlWidth: 3,
 			Rand:         rng.NewNamed(seed, fmt.Sprintf("keysize/%d", n)),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hd, err := metrics.HammingDistance(l.Circuit, l.Key, metrics.HDOptions{
 			Patterns:  1 << 13,
 			WrongKeys: 6,
+			Workers:   workers,
 			Rand:      rng.NewNamed(seed, fmt.Sprintf("keysize/hd/%d", n)),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, KeySizeRow{KeyBits: n, HDPercent: hd.HDPercent})
+		rows[i] = KeySizeRow{KeyBits: n, HDPercent: hd.HDPercent}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -6,8 +6,10 @@ import (
 	"orap/internal/attack"
 	"orap/internal/benchgen"
 	"orap/internal/lock"
+	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
+	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/scan"
 )
@@ -42,6 +44,10 @@ type AttackStudyOptions struct {
 	KeyBits int
 	// Budgets bounds each attack.
 	Budgets attack.Budgets
+	// Workers bounds the worker pool running attack×oracle cells
+	// concurrently (0 = all cores, 1 = serial). Each cell builds its own
+	// chip and derives its own streams, so the rows do not depend on it.
+	Workers int
 	// Seed drives every random choice.
 	Seed uint64
 }
@@ -108,46 +114,68 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		}},
 	}
 
-	var rows []AttackRow
+	// The cells share the locked and reference circuits read-only; their
+	// lazily cached topological orders and levels are warmed here, before
+	// the fan-out, so concurrent first uses cannot race on the caches.
+	for _, c := range []*netlist.Circuit{circuit, l.Circuit} {
+		c.MustTopoOrder()
+		if _, err := c.Levels(); err != nil {
+			return nil, err
+		}
+	}
+	type cell struct {
+		prot scan.Protection
+		a    attackFn
+	}
+	var cells []cell
 	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic} {
 		for _, a := range attacks {
-			o, err := newScanOracle(l, scaled, prot, opts.Seed)
-			if err != nil {
-				return nil, err
-			}
-			row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1}
-			res, err := a.run(o, opts.Seed)
-			if err != nil {
-				row.Note = err.Error()
-				if res != nil {
-					row.Iterations = res.Iterations
-					row.Queries = res.OracleQueries
-				}
-				rows = append(rows, row)
-				continue
-			}
-			row.Converged = res.Converged
-			row.Iterations = res.Iterations
-			row.Queries = res.OracleQueries
-			if res.Key != nil {
-				ok, err := attack.VerifyKey(l.Circuit, circuit, res.Key)
-				if err != nil {
-					return nil, err
-				}
-				row.KeyCorrect = ok
-				ref, err := oracle.NewComb(circuit, nil)
-				if err != nil {
-					return nil, err
-				}
-				dis, err := attack.SampleDisagreement(l.Circuit, res.Key, ref, 256,
-					rng.NewNamed(opts.Seed, "attacks/disagree"))
-				if err != nil {
-					return nil, err
-				}
-				row.Disagreement = dis
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{prot, a})
 		}
+	}
+	rows := make([]AttackRow, len(cells))
+	err = par.ForEach(opts.Workers, len(cells), func(i int) error {
+		prot, a := cells[i].prot, cells[i].a
+		o, err := newScanOracle(l, scaled, prot, opts.Seed)
+		if err != nil {
+			return err
+		}
+		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1}
+		res, err := a.run(o, opts.Seed)
+		if err != nil {
+			row.Note = err.Error()
+			if res != nil {
+				row.Iterations = res.Iterations
+				row.Queries = res.OracleQueries
+			}
+			rows[i] = row
+			return nil
+		}
+		row.Converged = res.Converged
+		row.Iterations = res.Iterations
+		row.Queries = res.OracleQueries
+		if res.Key != nil {
+			ok, err := attack.VerifyKey(l.Circuit, circuit, res.Key)
+			if err != nil {
+				return err
+			}
+			row.KeyCorrect = ok
+			ref, err := oracle.NewComb(circuit, nil)
+			if err != nil {
+				return err
+			}
+			dis, err := attack.SampleDisagreement(l.Circuit, res.Key, ref, 256,
+				rng.NewNamed(opts.Seed, "attacks/disagree"))
+			if err != nil {
+				return err
+			}
+			row.Disagreement = dis
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

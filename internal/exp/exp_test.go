@@ -220,7 +220,7 @@ func TestXorTreeSweepShape(t *testing.T) {
 }
 
 func TestCtrlWidthSweepShape(t *testing.T) {
-	rows, err := CtrlWidthSweep(7, []int{1, 3})
+	rows, err := CtrlWidthSweep(7, []int{1, 3}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestCtrlWidthSweepShape(t *testing.T) {
 }
 
 func TestKeySizeSweepSaturates(t *testing.T) {
-	rows, err := KeySizeSweep(9, []int{6, 24, 96})
+	rows, err := KeySizeSweep(9, []int{6, 24, 96}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"orap/internal/lock"
 	"orap/internal/metrics"
 	"orap/internal/orap"
+	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/scan"
 	"orap/internal/synth"
@@ -37,6 +38,10 @@ type TableIOptions struct {
 	WrongKeys int
 	// Circuits selects a subset by name (default: all eight).
 	Circuits []string
+	// Workers bounds the worker pool running circuit rows concurrently
+	// (0 = all cores, 1 = serial). Every circuit derives its streams from
+	// its own name, so the rows do not depend on it.
+	Workers int
 	// Seed drives every random choice.
 	Seed uint64
 }
@@ -58,17 +63,21 @@ func TableI(opts TableIOptions) ([]TableIRow, error) {
 			names = append(names, p.Name)
 		}
 	}
-	var rows []TableIRow
-	for _, name := range names {
+	// Circuit rows are independent — each derives its randomness from its
+	// own named streams and generates its own circuit — so they fan out
+	// across the pool while the output keeps the requested order.
+	rows := make([]TableIRow, len(names))
+	err := par.ForEach(opts.Workers, len(names), func(i int) error {
+		name := names[i]
 		prof, err := benchgen.ProfileByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scaled := prof.Scale(opts.Scale)
 		r := rng.NewNamed(opts.Seed, "tableI/"+name)
 		circuit, err := benchgen.Generate(scaled, opts.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l, err := lock.Weighted(circuit, lock.WeightedOptions{
 			KeyBits:      scaled.LFSRSize,
@@ -76,29 +85,30 @@ func TableI(opts TableIOptions) ([]TableIRow, error) {
 			Rand:         r,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("exp: weighted lock of %s: %w", name, err)
+			return fmt.Errorf("exp: weighted lock of %s: %w", name, err)
 		}
 		// Protect with basic OraP: the register overhead enters the area
 		// accounting; the locking itself is unchanged.
 		cfg, err := orap.Protect(l.Circuit, l.Key, scaled.Pins, scaled.PinOuts, scan.OraPBasic, orap.Options{Rand: r})
 		if err != nil {
-			return nil, fmt.Errorf("exp: OraP protect of %s: %w", name, err)
+			return fmt.Errorf("exp: OraP protect of %s: %w", name, err)
 		}
 		regOv := orap.RegisterOverhead(cfg.LFSR)
 
 		hd, err := metrics.HammingDistance(l.Circuit, l.Key, metrics.HDOptions{
 			Patterns:  opts.Patterns,
 			WrongKeys: opts.WrongKeys,
+			Workers:   opts.Workers,
 			Rand:      rng.NewNamed(opts.Seed, "tableI/hd/"+name),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ov, err := synth.Compare(circuit, l.Circuit, regOv.Gates())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, TableIRow{
+		rows[i] = TableIRow{
 			Circuit:    prof.Name,
 			Gates:      circuit.GateCount(),
 			Outputs:    circuit.NumOutputs(),
@@ -107,7 +117,11 @@ func TableI(opts TableIOptions) ([]TableIRow, error) {
 			HDPercent:  hd.HDPercent,
 			AreaOvhd:   ov.AreaPercent(),
 			DelayOvhd:  ov.DelayPercent(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -8,6 +8,7 @@ import (
 	"orap/internal/faultsim"
 	"orap/internal/lock"
 	"orap/internal/netlist"
+	"orap/internal/par"
 	"orap/internal/rng"
 )
 
@@ -35,6 +36,10 @@ type TableIIOptions struct {
 	ConflictBudget int64
 	// Circuits selects a subset by name (default: all eight).
 	Circuits []string
+	// Workers bounds the worker pool running circuit rows concurrently
+	// and the fault-simulation fan-out inside each row (0 = all cores,
+	// 1 = serial). The rows do not depend on it.
+	Workers int
 	// Seed drives every random choice.
 	Seed uint64
 }
@@ -58,16 +63,19 @@ func TableII(opts TableIIOptions) ([]TableIIRow, error) {
 			names = append(names, p.Name)
 		}
 	}
-	var rows []TableIIRow
-	for _, name := range names {
+	// Rows are independent (per-name streams, per-row circuits), so they
+	// fan out across the pool in the requested output order.
+	rows := make([]TableIIRow, len(names))
+	err := par.ForEach(opts.Workers, len(names), func(i int) error {
+		name := names[i]
 		prof, err := benchgen.ProfileByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		scaled := prof.Scale(opts.Scale)
 		circuit, err := benchgen.Generate(scaled, opts.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l, err := lock.Weighted(circuit, lock.WeightedOptions{
 			KeyBits:      scaled.LFSRSize,
@@ -75,18 +83,18 @@ func TableII(opts TableIIOptions) ([]TableIIRow, error) {
 			Rand:         rng.NewNamed(opts.Seed, "tableII/lock/"+name),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		origSum, err := testability(circuit, opts, "orig/"+name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		protSum, err := testability(l.Circuit, opts, "prot/"+name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, TableIIRow{
+		rows[i] = TableIIRow{
 			Circuit:     prof.Name,
 			OrigFC:      origSum.Coverage(),
 			OrigRedAbrt: origSum.RedundantPlusAborted(),
@@ -94,7 +102,11 @@ func TableII(opts TableIIOptions) ([]TableIIRow, error) {
 			ProtRedAbrt: protSum.RedundantPlusAborted(),
 			OrigFaults:  origSum.Total,
 			ProtFaults:  protSum.Total,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -105,6 +117,7 @@ func testability(c *netlist.Circuit, opts TableIIOptions, stream string) (atpg.S
 	if err != nil {
 		return atpg.Summary{}, err
 	}
+	sim.Workers = opts.Workers
 	faults := faultsim.CollapseFaults(c)
 	rand := sim.RunRandom(faults, opts.RandomBlocks, rng.NewNamed(opts.Seed, "tableII/"+stream))
 	return atpg.Run(c, sim, rand, atpg.Options{ConflictBudget: opts.ConflictBudget})

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"orap/internal/netlist"
+	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/sim"
 )
@@ -111,6 +112,12 @@ func CollapseFaults(c *netlist.Circuit) []Fault {
 
 // Simulator runs parallel-pattern fault simulation over a fixed circuit.
 type Simulator struct {
+	// Workers bounds the worker pool that fans the live fault list out
+	// during RunRandom (0 = all cores, 1 = serial). Detection of each
+	// fault is independent of every other, so the result — including the
+	// order of Remaining — does not depend on it.
+	Workers int
+
 	c      *netlist.Circuit
 	par    *sim.Parallel
 	order  []int
@@ -158,6 +165,28 @@ func New(c *netlist.Circuit) (*Simulator, error) {
 	}
 	s.heap.pos = pos
 	return s, nil
+}
+
+// clone returns a propagation worker sharing the (read-only) circuit
+// structure and the good-circuit evaluator, with private fault-effect
+// scratch. Clones only read s.par between the good-value Run and the
+// merge barrier, so a batch of clones can simulate disjoint fault chunks
+// of the same block concurrently.
+func (s *Simulator) clone() *Simulator {
+	n := s.c.NumNodes()
+	cl := &Simulator{
+		c:         s.c,
+		par:       s.par,
+		order:     s.order,
+		pos:       s.pos,
+		fanout:    s.fanout,
+		faulty:    make([]uint64, n),
+		stamp:     make([]int, n),
+		seenStamp: make([]int, n),
+		isPO:      s.isPO,
+	}
+	cl.heap.pos = s.pos
+	return cl
 }
 
 // goodValue returns the good-circuit word of node id for the current block.
@@ -307,21 +336,68 @@ func (r Result) Coverage() float64 {
 	return 100 * float64(r.Detected) / float64(r.Total)
 }
 
+// parallelFaultFloor is the live-list size below which the per-block
+// fan-out is not worth the goroutine round trip and RunRandom drops back
+// to the serial loop.
+const parallelFaultFloor = 256
+
 // RunRandom simulates `blocks` blocks of 64 random patterns with fault
 // dropping and returns the campaign result. Key inputs are treated as
 // freely controllable (they sit in the scan chains under OraP), so they
 // receive random patterns exactly like primary inputs.
+//
+// Within each block the live fault list is partitioned into batches
+// simulated by per-worker clones over the shared good-circuit values
+// (s.Workers bounds the pool); detection flags are merged in fault order
+// at the barrier, so the result is identical at any worker count.
 func (s *Simulator) RunRandom(faults []Fault, blocks int, r *rng.Stream) Result {
 	live := append([]Fault(nil), faults...)
 	res := Result{Total: len(faults)}
+	workers := par.Workers(s.Workers)
+	var clones []*Simulator // lazily grown; slot 0 is s itself
+	var detected []bool
 	for b := 0; b < blocks && len(live) > 0; b++ {
 		for _, id := range s.c.AllInputs() {
 			s.par.Value(id)[0] = r.Uint64()
 		}
 		s.par.Run()
+		if workers <= 1 || len(live) < parallelFaultFloor {
+			kept := live[:0]
+			for _, f := range live {
+				if s.simulateFault(f) {
+					res.Detected++
+				} else {
+					kept = append(kept, f)
+				}
+			}
+			live = kept
+			continue
+		}
+		chunks := par.Partition(len(live), workers*4)
+		detected = append(detected[:0], make([]bool, len(live))...)
+		for len(clones) < workers {
+			clones = append(clones, nil)
+		}
+		// Each worker tests a contiguous fault chunk; no two items touch
+		// the same detected slot, and the good values are read-only here.
+		par.ForEachWorker(workers, len(chunks), func(w, ci int) error {
+			sm := s
+			if w > 0 {
+				if clones[w] == nil {
+					clones[w] = s.clone()
+				}
+				sm = clones[w]
+			}
+			for i := chunks[ci][0]; i < chunks[ci][1]; i++ {
+				if sm.simulateFault(live[i]) {
+					detected[i] = true
+				}
+			}
+			return nil
+		})
 		kept := live[:0]
-		for _, f := range live {
-			if s.simulateFault(f) {
+		for i, f := range live {
+			if detected[i] {
 				res.Detected++
 			} else {
 				kept = append(kept, f)

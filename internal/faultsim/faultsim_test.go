@@ -165,3 +165,39 @@ func BenchmarkRandomFaultSimAdder16(b *testing.B) {
 		s.RunRandom(faults, 4, r)
 	}
 }
+
+func TestRunRandomWorkerCountInvariance(t *testing.T) {
+	// Fault detection is independent per fault and the random patterns are
+	// drawn once per block regardless of the pool size, so the campaign
+	// result — counts and the order of Remaining — must be identical at
+	// any worker count. The adder is large enough to cross the parallel
+	// floor, so the fan-out path really runs.
+	c := circuits.RippleAdder(48)
+	faults := CollapseFaults(c)
+	if len(faults) < parallelFaultFloor {
+		t.Fatalf("test circuit too small to exercise the parallel path: %d faults", len(faults))
+	}
+	run := func(workers int) Result {
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Workers = workers
+		return s.RunRandom(faults, 2, rng.New(17))
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if got.Total != serial.Total || got.Detected != serial.Detected {
+			t.Fatalf("Workers=%d: detected %d/%d, serial %d/%d", w, got.Detected, got.Total, serial.Detected, serial.Total)
+		}
+		if len(got.Remaining) != len(serial.Remaining) {
+			t.Fatalf("Workers=%d: %d remaining, serial %d", w, len(got.Remaining), len(serial.Remaining))
+		}
+		for i := range got.Remaining {
+			if got.Remaining[i] != serial.Remaining[i] {
+				t.Fatalf("Workers=%d: remaining[%d] = %v, serial %v", w, i, got.Remaining[i], serial.Remaining[i])
+			}
+		}
+	}
+}

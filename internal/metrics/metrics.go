@@ -6,13 +6,17 @@
 //
 // The measurement is bit-parallel and streamed in blocks, so circuits at
 // b19 scale (~200k gates, thousands of outputs, hundreds of thousands of
-// patterns) run in bounded memory.
+// patterns) run in bounded memory. Blocks are fanned out across a worker
+// pool; each block draws its patterns from its own deterministic
+// substream of the seed, so the result is bit-identical at any worker
+// count.
 package metrics
 
 import (
 	"fmt"
 
 	"orap/internal/netlist"
+	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/sim"
 )
@@ -28,6 +32,9 @@ type HDOptions struct {
 	// BlockWords is the number of 64-pattern words simulated at once
 	// (default 64, i.e. 4096 patterns per block).
 	BlockWords int
+	// Workers bounds the worker pool simulating blocks (0 = all cores,
+	// 1 = serial). The result does not depend on it.
+	Workers int
 	// Rand drives pattern and wrong-key generation; required.
 	Rand *rng.Stream
 }
@@ -61,9 +68,21 @@ type HDResult struct {
 	AvgFlippedOutputs float64
 }
 
+// hdWorker is the per-worker scratch of the block fan-out: a private
+// evaluator plus the good-output buffer it compares wrong keys against.
+type hdWorker struct {
+	eval *sim.Parallel
+	good [][]uint64
+}
+
 // HammingDistance measures output corruptibility of a locked circuit:
 // the average bit-difference between the circuit under its correct key
 // and under random wrong keys, over pseudorandom input patterns.
+//
+// Pattern blocks are simulated concurrently on opts.Workers workers; each
+// block b draws its patterns from substream b of opts.Rand (rng.Split),
+// and per-block difference counts are reduced in block order, so the
+// result is bit-identical regardless of the worker count.
 func HammingDistance(locked *netlist.Circuit, correctKey []bool, opts HDOptions) (HDResult, error) {
 	if err := opts.fill(); err != nil {
 		return HDResult{}, err
@@ -74,7 +93,9 @@ func HammingDistance(locked *netlist.Circuit, correctKey []bool, opts HDOptions)
 	if locked.NumKeys() == 0 {
 		return HDResult{}, fmt.Errorf("metrics: circuit %q has no key inputs", locked.Name)
 	}
-	p, err := sim.NewParallel(locked, opts.BlockWords)
+	// The prototype evaluator is built serially, which also warms the
+	// circuit's cached topological order before clones run concurrently.
+	proto, err := sim.NewParallel(locked, opts.BlockWords)
 	if err != nil {
 		return HDResult{}, err
 	}
@@ -100,33 +121,59 @@ func HammingDistance(locked *netlist.Circuit, correctKey []bool, opts HDOptions)
 	blockPatterns := opts.BlockWords * 64
 	blocks := (opts.Patterns + blockPatterns - 1) / blockPatterns
 	totalPatterns := blocks * blockPatterns
+	blockRand := opts.Rand.Split(blocks)
 
-	goodOut := make([][]uint64, locked.NumOutputs())
-	for i := range goodOut {
-		goodOut[i] = make([]uint64, opts.BlockWords)
+	workers := par.Workers(opts.Workers)
+	scratch := make([]*hdWorker, workers)
+	blockDiff := make([]int64, blocks)
+	err = par.ForEachWorker(workers, blocks, func(w, b int) error {
+		s := scratch[w]
+		if s == nil {
+			s = &hdWorker{eval: proto}
+			if w > 0 {
+				s.eval = proto.Clone()
+			}
+			s.good = make([][]uint64, locked.NumOutputs())
+			for i := range s.good {
+				s.good[i] = make([]uint64, opts.BlockWords)
+			}
+			scratch[w] = s
+		}
+		s.eval.RandomizeInputs(blockRand[b])
+		if err := s.eval.SetKey(correctKey); err != nil {
+			return err
+		}
+		s.eval.Run()
+		for i, id := range locked.POs {
+			copy(s.good[i], s.eval.Value(id))
+		}
+		var diff int64
+		for _, k := range wrong {
+			if err := s.eval.SetKey(k); err != nil {
+				return err
+			}
+			s.eval.Run()
+			for i, id := range locked.POs {
+				diff += int64(sim.DiffBits(s.eval.Value(id), s.good[i], blockPatterns))
+			}
+		}
+		blockDiff[b] = diff
+		return nil
+	})
+	for w := 1; w < len(scratch); w++ {
+		if scratch[w] != nil {
+			scratch[w].eval.Release()
+		}
+	}
+	proto.Release()
+	if err != nil {
+		return HDResult{}, err
 	}
 
 	var diffBits int64
-	for b := 0; b < blocks; b++ {
-		p.RandomizeInputs(opts.Rand)
-		if err := p.SetKey(correctKey); err != nil {
-			return HDResult{}, err
-		}
-		p.Run()
-		for i, id := range locked.POs {
-			copy(goodOut[i], p.Value(id))
-		}
-		for _, k := range wrong {
-			if err := p.SetKey(k); err != nil {
-				return HDResult{}, err
-			}
-			p.Run()
-			for i, id := range locked.POs {
-				diffBits += int64(sim.DiffBits(p.Value(id), goodOut[i], blockPatterns))
-			}
-		}
+	for _, d := range blockDiff {
+		diffBits += d
 	}
-
 	totalBits := int64(totalPatterns) * int64(len(wrong)) * int64(locked.NumOutputs())
 	hd := 100 * float64(diffBits) / float64(totalBits)
 	return HDResult{

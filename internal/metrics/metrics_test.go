@@ -145,3 +145,30 @@ func BenchmarkHammingDistanceB20Slice(b *testing.B) {
 		}
 	}
 }
+
+func TestHDWorkerCountInvariance(t *testing.T) {
+	// The tentpole regression guard: the measurement must be bit-identical
+	// at any worker count, because every block draws from its own
+	// substream and the reduction is ordered by block index.
+	orig := circuits.RippleAdder(8)
+	l, err := lock.Weighted(orig, lock.WeightedOptions{KeyBits: 12, ControlWidth: 3, KeyGates: 12, Rand: rng.New(31)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) HDResult {
+		res, err := HammingDistance(l.Circuit, l.Key, HDOptions{
+			Patterns: 1 << 12, WrongKeys: 4, BlockWords: 4,
+			Workers: workers, Rand: rng.New(32),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != serial {
+			t.Fatalf("Workers=%d result %+v differs from serial %+v", w, got, serial)
+		}
+	}
+}

@@ -48,6 +48,33 @@ func NewNamed(seed uint64, name string) *Stream {
 	return New(h)
 }
 
+// Split consumes one draw from r and returns n independent substreams
+// derived from it. The substreams are a pure function of the parent's
+// state at the call, so a fixed seed yields the same family of streams on
+// every run and machine regardless of how the substreams are later
+// consumed — the property that lets parallel drivers hand substream i to
+// whichever worker picks up work item i and still produce bit-identical
+// results at any worker count.
+func (r *Stream) Split(n int) []*Stream {
+	base := r.Uint64()
+	out := make([]*Stream, n)
+	for i := range out {
+		// Each substream seed is one step of a splitmix64 sequence rooted
+		// at the parent draw; New then expands it through four more steps,
+		// so even adjacent substreams share no state structure.
+		out[i] = New(splitmix64(&base))
+	}
+	return out
+}
+
+// SubStream consumes one draw from r and returns an independent substream
+// bound to the given label, mixing exactly like NewNamed. Two SubStream
+// calls at the same parent state with different labels give independent
+// streams; the same label gives the same stream.
+func (r *Stream) SubStream(label string) *Stream {
+	return NewNamed(r.Uint64(), label)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -10,10 +10,32 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"orap/internal/netlist"
 	"orap/internal/rng"
 )
+
+// valsPool recycles value buffers between evaluators. Workers that clone
+// an evaluator per task (the parallel HD and fault-simulation drivers)
+// would otherwise allocate len(Gates)×words words per clone; Release puts
+// the buffer back so the next Clone or NewParallel reuses it.
+var valsPool sync.Pool
+
+// grabVals returns a zeroed buffer of n words, reusing a pooled one when
+// it is large enough.
+func grabVals(n int) []uint64 {
+	if p, ok := valsPool.Get().(*[]uint64); ok {
+		if cap(*p) >= n {
+			v := (*p)[:n]
+			for i := range v {
+				v[i] = 0
+			}
+			return v
+		}
+	}
+	return make([]uint64, n)
+}
 
 // Parallel is a reusable bit-parallel evaluator for a fixed circuit and a
 // fixed number of 64-pattern words.
@@ -37,8 +59,30 @@ func NewParallel(c *netlist.Circuit, words int) (*Parallel, error) {
 		c:     c,
 		order: order,
 		words: words,
-		vals:  make([]uint64, len(c.Gates)*words),
+		vals:  grabVals(len(c.Gates) * words),
 	}, nil
+}
+
+// Clone returns an independent evaluator for the same circuit and word
+// count. The (immutable) topological order is shared; only the value
+// buffer is private, so clones are cheap and safe to run concurrently.
+// Pair with Release when the clone is short-lived.
+func (p *Parallel) Clone() *Parallel {
+	return &Parallel{
+		c:     p.c,
+		order: p.order,
+		words: p.words,
+		vals:  grabVals(len(p.c.Gates) * p.words),
+	}
+}
+
+// Release returns the evaluator's value buffer to a shared pool for reuse
+// by later NewParallel/Clone calls. The evaluator must not be used
+// afterwards.
+func (p *Parallel) Release() {
+	v := p.vals
+	p.vals = nil
+	valsPool.Put(&v)
 }
 
 // Words returns the number of 64-pattern words per node.

@@ -263,3 +263,85 @@ func BenchmarkParallelC17(b *testing.B) {
 		p.Run()
 	}
 }
+
+func TestCloneMatchesOriginal(t *testing.T) {
+	c := circuits.RippleAdder(8)
+	p, err := NewParallel(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	r1, r2 := rng.New(55), rng.New(55)
+	p.RandomizeInputs(r1)
+	q.RandomizeInputs(r2)
+	p.Run()
+	q.Run()
+	for _, id := range c.POs {
+		pv, qv := p.Value(id), q.Value(id)
+		for w := range pv {
+			if pv[w] != qv[w] {
+				t.Fatalf("clone diverged on node %d word %d: %x vs %x", id, w, pv[w], qv[w])
+			}
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := circuits.C17()
+	p, _ := NewParallel(c, 1)
+	q := p.Clone()
+	p.SetInputConst(c.PIs[0], true)
+	if q.Value(c.PIs[0])[0] != 0 {
+		t.Fatal("writing the original's inputs leaked into the clone")
+	}
+}
+
+func TestReleaseRecyclesBuffers(t *testing.T) {
+	// A released buffer must come back zeroed through the pool, so a
+	// fresh evaluator cannot observe a previous user's values. (Whether
+	// the pool actually returns it is up to the runtime; correctness must
+	// hold either way.)
+	c := circuits.C17()
+	p, _ := NewParallel(c, 2)
+	for _, id := range c.PIs {
+		p.SetInputConst(id, true)
+	}
+	p.Run()
+	p.Release()
+	q, _ := NewParallel(c, 2)
+	for id := range c.Gates {
+		for _, w := range q.Value(id) {
+			if w != 0 {
+				t.Fatalf("fresh evaluator saw stale value %x on node %d", w, id)
+			}
+		}
+	}
+}
+
+// BenchmarkCloneRelease measures the per-worker evaluator setup cost with
+// buffer pooling (run with -benchmem: steady state allocates nothing for
+// the value buffer).
+func BenchmarkCloneRelease(b *testing.B) {
+	c := circuits.RippleAdder(64)
+	p, _ := NewParallel(c, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := p.Clone()
+		q.Release()
+	}
+}
+
+// BenchmarkNewParallelNoPool is the no-reuse baseline for
+// BenchmarkCloneRelease: a fresh evaluator per iteration whose buffer is
+// never returned to the pool.
+func BenchmarkNewParallelNoPool(b *testing.B) {
+	c := circuits.RippleAdder(64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewParallel(c, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
