@@ -4,7 +4,7 @@ GO ?= go
 
 # Packages that gained goroutines in the worker-pool work: every PR runs
 # them under the race detector.
-RACE_PKGS := ./internal/par ./internal/rng ./internal/sim ./internal/metrics ./internal/faultsim ./internal/exp
+RACE_PKGS := ./internal/par ./internal/rng ./internal/ir ./internal/sim ./internal/metrics ./internal/faultsim ./internal/exp
 
 .PHONY: all vet build test race bench bench-parallel ci
 

@@ -14,8 +14,10 @@ import (
 	"orap/internal/benchgen"
 	"orap/internal/exp"
 	"orap/internal/faultsim"
+	"orap/internal/ir"
 	"orap/internal/lock"
 	"orap/internal/metrics"
+	"orap/internal/netlist"
 	"orap/internal/rng"
 )
 
@@ -96,6 +98,111 @@ func benchmarkHD(b *testing.B, workers int) {
 
 func BenchmarkHDSerial(b *testing.B)   { benchmarkHD(b, 1) }
 func BenchmarkHDParallel(b *testing.B) { benchmarkHD(b, 0) }
+
+// benchEvalCircuit builds the circuit shared by the IR benchmarks.
+func benchEvalCircuit(b *testing.B) *netlist.Circuit {
+	b.Helper()
+	prof, err := benchgen.ProfileByName("b20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuit, err := benchgen.Generate(prof.Scale(benchScale), benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return circuit
+}
+
+// BenchmarkIRCompile measures ir.Compile alone: the one-time cost every
+// evaluator pays to obtain the flat program.
+func BenchmarkIRCompile(b *testing.B) {
+	circuit := benchEvalCircuit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Compile(circuit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalIR and BenchmarkEvalLegacy are a before/after pair for the
+// compiled-IR refactor: one full 64-pattern bit-parallel sweep over the
+// scaled b20 netlist, through the shared IR kernel versus an inline
+// walker chasing the netlist's slice-of-struct gates (the pre-IR
+// evaluation strategy, kept here only as the benchmark baseline).
+func BenchmarkEvalIR(b *testing.B) {
+	circuit := benchEvalCircuit(b)
+	prog, err := ir.Compile(circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]uint64, prog.NumNodes())
+	r := rng.New(benchSeed + 3)
+	for _, id := range prog.Inputs {
+		vals[id] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.RunWords(vals, 1)
+	}
+}
+
+func BenchmarkEvalLegacy(b *testing.B) {
+	circuit := benchEvalCircuit(b)
+	order, err := circuit.TopoOrder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]uint64, circuit.NumNodes())
+	r := rng.New(benchSeed + 3)
+	for _, id := range circuit.AllInputs() {
+		vals[id] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range order {
+			g := &circuit.Gates[id]
+			switch g.Type {
+			case netlist.Input:
+			case netlist.Const0:
+				vals[id] = 0
+			case netlist.Const1:
+				vals[id] = ^uint64(0)
+			case netlist.Buf:
+				vals[id] = vals[g.Fanin[0]]
+			case netlist.Not:
+				vals[id] = ^vals[g.Fanin[0]]
+			case netlist.And, netlist.Nand:
+				v := vals[g.Fanin[0]]
+				for _, f := range g.Fanin[1:] {
+					v &= vals[f]
+				}
+				if g.Type == netlist.Nand {
+					v = ^v
+				}
+				vals[id] = v
+			case netlist.Or, netlist.Nor:
+				v := vals[g.Fanin[0]]
+				for _, f := range g.Fanin[1:] {
+					v |= vals[f]
+				}
+				if g.Type == netlist.Nor {
+					v = ^v
+				}
+				vals[id] = v
+			case netlist.Xor, netlist.Xnor:
+				v := vals[g.Fanin[0]]
+				for _, f := range g.Fanin[1:] {
+					v ^= vals[f]
+				}
+				if g.Type == netlist.Xnor {
+					v = ^v
+				}
+				vals[id] = v
+			}
+		}
+	}
+}
 
 // BenchmarkFaultSim measures the PPSFP random fault-simulation kernel
 // serial vs parallel on one generated circuit.

@@ -21,13 +21,13 @@ import (
 	"os"
 
 	"orap/internal/bench"
+	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
 	"orap/internal/par"
 	"orap/internal/rng"
 	"orap/internal/scan"
-	"orap/internal/sim"
 )
 
 type queryList []string
@@ -129,10 +129,10 @@ func main() {
 	// pattern, so they are simulated up front on the worker pool.
 	o := oracle.NewScan(chip)
 	pats := patterns(queries, locked, *seed)
-	locked.MustTopoOrder() // warm the lazy cache before concurrent Evals
+	prog := ir.MustCompile(locked) // compiled once; Eval is goroutine-safe
 	wants := make([][]bool, len(pats))
 	fatal(par.ForEach(*workers, len(pats), func(i int) error {
-		w, err := sim.Eval(locked, pats[i], kb)
+		w, err := prog.Eval(pats[i], kb)
 		wants[i] = w
 		return err
 	}))

@@ -9,6 +9,7 @@ package aig
 import (
 	"fmt"
 
+	"orap/internal/ir"
 	"orap/internal/netlist"
 )
 
@@ -205,66 +206,76 @@ func (g *AIG) CountUsed() (ands, levels int) {
 	return ands, g.Levels()
 }
 
-// FromCircuit strashes a gate-level circuit into a fresh AIG. Key inputs
-// become ordinary PIs (appended after the primary inputs). Multi-input
-// gates are decomposed into balanced trees, which also realizes the
-// balancing effect of a resynthesis pass.
+// FromCircuit compiles a gate-level circuit and strashes it into a fresh
+// AIG (see FromProgram).
 func FromCircuit(c *netlist.Circuit) (*AIG, error) {
-	order, err := c.TopoOrder()
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
+	return FromProgram(prog)
+}
+
+// FromProgram strashes a compiled circuit into a fresh AIG. Key inputs
+// become ordinary PIs (appended after the primary inputs). Multi-input
+// gates are decomposed into balanced trees, which also realizes the
+// balancing effect of a resynthesis pass. Construction walks the
+// program's topological order, so the same program always yields the
+// same graph.
+func FromProgram(prog *ir.Program) (*AIG, error) {
 	g := New()
-	lit := make([]Lit, c.NumNodes())
+	lit := make([]Lit, prog.NumNodes())
 	for i := range lit {
 		lit[i] = ConstFalse
 	}
-	for _, id := range c.PIs {
+	for _, id := range prog.PIs {
 		lit[id] = g.AddPI()
 	}
-	for _, id := range c.Keys {
+	for _, id := range prog.Keys {
 		lit[id] = g.AddPI()
 	}
-	for _, id := range order {
-		gate := &c.Gates[id]
-		switch gate.Type {
-		case netlist.Input:
+	for _, id32 := range prog.Order {
+		id := int(id32)
+		op := prog.Ops[id]
+		fanin := prog.FaninSpan(id)
+		switch op {
+		case ir.OpInput:
 			// Already assigned.
-		case netlist.Const0:
+		case ir.OpConst0:
 			lit[id] = ConstFalse
-		case netlist.Const1:
+		case ir.OpConst1:
 			lit[id] = ConstTrue
-		case netlist.Buf:
-			lit[id] = lit[gate.Fanin[0]]
-		case netlist.Not:
-			lit[id] = lit[gate.Fanin[0]].Not()
-		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
-			fan := make([]Lit, len(gate.Fanin))
-			for i, f := range gate.Fanin {
+		case ir.OpBuf:
+			lit[id] = lit[fanin[0]]
+		case ir.OpNot:
+			lit[id] = lit[fanin[0]].Not()
+		case ir.OpAnd, ir.OpNand, ir.OpOr, ir.OpNor:
+			fan := make([]Lit, len(fanin))
+			for i, f := range fanin {
 				fan[i] = lit[f]
-				if gate.Type == netlist.Or || gate.Type == netlist.Nor {
+				if op == ir.OpOr || op == ir.OpNor {
 					fan[i] = fan[i].Not()
 				}
 			}
 			v := g.balancedAnd(fan)
-			if gate.Type == netlist.Nand || gate.Type == netlist.Or {
+			if op == ir.OpNand || op == ir.OpOr {
 				v = v.Not()
 			}
 			lit[id] = v
-		case netlist.Xor, netlist.Xnor:
-			v := lit[gate.Fanin[0]]
-			for _, f := range gate.Fanin[1:] {
+		case ir.OpXor, ir.OpXnor:
+			v := lit[fanin[0]]
+			for _, f := range fanin[1:] {
 				v = g.Xor(v, lit[f])
 			}
-			if gate.Type == netlist.Xnor {
+			if op == ir.OpXnor {
 				v = v.Not()
 			}
 			lit[id] = v
 		default:
-			return nil, fmt.Errorf("aig: unsupported gate type %v", gate.Type)
+			return nil, fmt.Errorf("aig: unsupported gate type %v", op)
 		}
 	}
-	for _, o := range c.POs {
+	for _, o := range prog.POs {
 		g.AddPO(lit[o])
 	}
 	return g, nil

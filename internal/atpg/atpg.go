@@ -14,12 +14,19 @@
 // Key inputs are treated as ordinary, freely controllable inputs: under
 // OraP the key register is wired into the scan chains, so "the tool was
 // allowed to set any value to the key inputs" (Table II's setup).
+//
+// A campaign compiles the circuit once (or reuses the fault simulator's
+// compiled program) and encodes every fault cone from the flat IR view;
+// the Tseitin clauses themselves come from cnf.EmitGate, so the ATPG and
+// attack SAT paths share one gate encoding.
 package atpg
 
 import (
 	"fmt"
 
+	"orap/internal/cnf"
 	"orap/internal/faultsim"
+	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/sat"
 )
@@ -71,12 +78,24 @@ type Outcome struct {
 	Pattern []bool // inputs then keys; nil unless Detected by this call
 }
 
-// Generate targets one fault and returns its outcome.
+// Generate targets one fault and returns its outcome. It compiles the
+// circuit per call; campaigns should compile once and use
+// GenerateProgram (Run does so automatically).
 func Generate(c *netlist.Circuit, f faultsim.Fault, opts Options) (Outcome, error) {
+	prog, err := ir.Compile(c)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return GenerateProgram(prog, f, opts)
+}
+
+// GenerateProgram targets one fault of an already-compiled circuit and
+// returns its outcome.
+func GenerateProgram(prog *ir.Program, f faultsim.Fault, opts Options) (Outcome, error) {
 	s := sat.New()
 	s.MaxConflicts = opts.budget()
 
-	enc, err := encodeFaultCone(s, c, f)
+	enc, err := encodeFaultCone(s, prog, f)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -90,10 +109,9 @@ func Generate(c *netlist.Circuit, f faultsim.Fault, opts Options) (Outcome, erro
 	if !ok {
 		return Outcome{Fault: f, Class: Redundant}, nil
 	}
-	all := c.AllInputs()
-	pattern := make([]bool, len(all))
-	for i, id := range all {
-		if v := enc.inputVar[id]; v >= 0 {
+	pattern := make([]bool, len(prog.Inputs))
+	for i, id := range prog.Inputs {
+		if v := enc.inputVar[int(id)]; v >= 0 {
 			pattern[i] = s.Value(v) == sat.True
 		}
 		// Inputs outside the cone stay false; any value works.
@@ -110,15 +128,14 @@ type coneEncoding struct {
 // encodeFaultCone adds CNF for the good and faulty circuit restricted to
 // the union of the fault's output cone and that cone's input support,
 // sharing input variables, and asserts that an observed output differs.
-func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*coneEncoding, error) {
-	order, err := c.TopoOrder()
-	if err != nil {
-		return nil, err
+func encodeFaultCone(s *sat.Solver, prog *ir.Program, f faultsim.Fault) (*coneEncoding, error) {
+	if f.Node < 0 || f.Node >= prog.NumNodes() {
+		return nil, fmt.Errorf("atpg: fault node %d out of range", f.Node)
 	}
 	// Influence region: transitive fanout of the fault node; support:
 	// transitive fanin of that region.
-	influenced := c.TransitiveFanout(f.Node)
-	need := make([]bool, c.NumNodes())
+	influenced := prog.TransitiveFanout(f.Node)
+	need := make([]bool, prog.NumNodes())
 	stack := []int{}
 	for id := range influenced {
 		if influenced[id] {
@@ -129,23 +146,23 @@ func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*cone
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, fi := range c.Gates[id].Fanin {
+		for _, fi := range prog.FaninSpan(id) {
 			if !need[fi] {
 				need[fi] = true
-				stack = append(stack, fi)
+				stack = append(stack, int(fi))
 			}
 		}
 	}
 
-	goodVar := make([]sat.Var, c.NumNodes())
-	faultVar := make([]sat.Var, c.NumNodes())
+	goodVar := make([]sat.Var, prog.NumNodes())
+	faultVar := make([]sat.Var, prog.NumNodes())
 	for i := range goodVar {
 		goodVar[i] = -1
 		faultVar[i] = -1
 	}
 	enc := &coneEncoding{inputVar: make(map[int]sat.Var)}
 
-	lits := func(vars []sat.Var, ids []int) []sat.Lit {
+	lits := func(vars []sat.Var, ids []int32) []sat.Lit {
 		ls := make([]sat.Lit, len(ids))
 		for i, id := range ids {
 			ls[i] = sat.MkLit(vars[id], false)
@@ -153,18 +170,20 @@ func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*cone
 		return ls
 	}
 
-	for _, id := range order {
+	for _, id32 := range prog.Order {
+		id := int(id32)
 		if !need[id] {
 			continue
 		}
-		g := &c.Gates[id]
+		op := prog.Ops[id]
+		fanin := prog.FaninSpan(id)
 		// Good copy.
 		gv := s.NewVar()
 		goodVar[id] = gv
-		if g.Type == netlist.Input {
+		if op == ir.OpInput {
 			enc.inputVar[id] = gv
 		} else {
-			if err := emitGate(s, g.Type, sat.MkLit(gv, false), lits(goodVar, g.Fanin)); err != nil {
+			if err := cnf.EmitGate(s, op, sat.MkLit(gv, false), lits(goodVar, fanin)); err != nil {
 				return nil, err
 			}
 		}
@@ -181,20 +200,20 @@ func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*cone
 		case id == f.Node && f.Pin < 0:
 			// Output fault: the node is a constant.
 			s.AddClause(sat.MkLit(fv, !f.SA1))
-		case g.Type == netlist.Input:
+		case op == ir.OpInput:
 			// An influenced input can only be the fault node itself
 			// (inputs have no fanin); constrain equal to good.
 			s.AddClause(sat.MkLit(fv, true), sat.MkLit(gv, false))
 			s.AddClause(sat.MkLit(fv, false), sat.MkLit(gv, true))
 		default:
-			fan := lits(faultVar, g.Fanin)
+			fan := lits(faultVar, fanin)
 			if id == f.Node && f.Pin >= 0 {
 				// Input-pin fault: replace that pin with a constant.
 				cv := s.NewVar()
 				s.AddClause(sat.MkLit(cv, !f.SA1))
 				fan[f.Pin] = sat.MkLit(cv, false)
 			}
-			if err := emitGate(s, g.Type, sat.MkLit(fv, false), fan); err != nil {
+			if err := cnf.EmitGate(s, op, sat.MkLit(fv, false), fan); err != nil {
 				return nil, err
 			}
 		}
@@ -202,12 +221,12 @@ func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*cone
 
 	// Some observed output in the influenced region must differ.
 	var diffs []sat.Lit
-	for _, o := range c.POs {
+	for _, o := range prog.POs {
 		if !influenced[o] {
 			continue
 		}
 		d := sat.MkLit(s.NewVar(), false)
-		emitXor2(s, d, sat.MkLit(goodVar[o], false), sat.MkLit(faultVar[o], false))
+		cnf.EmitXor2(s, d, sat.MkLit(goodVar[o], false), sat.MkLit(faultVar[o], false))
 		diffs = append(diffs, d)
 	}
 	if len(diffs) == 0 {
@@ -217,71 +236,6 @@ func encodeFaultCone(s *sat.Solver, c *netlist.Circuit, f faultsim.Fault) (*cone
 	}
 	s.AddClause(diffs...)
 	return enc, nil
-}
-
-func emitGate(s *sat.Solver, t netlist.GateType, out sat.Lit, fan []sat.Lit) error {
-	switch t {
-	case netlist.Const0:
-		s.AddClause(out.Not())
-	case netlist.Const1:
-		s.AddClause(out)
-	case netlist.Buf:
-		s.AddClause(out.Not(), fan[0])
-		s.AddClause(out, fan[0].Not())
-	case netlist.Not:
-		s.AddClause(out.Not(), fan[0].Not())
-		s.AddClause(out, fan[0])
-	case netlist.And, netlist.Nand:
-		o := out
-		if t == netlist.Nand {
-			o = out.Not()
-		}
-		all := make([]sat.Lit, 0, len(fan)+1)
-		for _, f := range fan {
-			s.AddClause(o.Not(), f)
-			all = append(all, f.Not())
-		}
-		s.AddClause(append(all, o)...)
-	case netlist.Or, netlist.Nor:
-		o := out
-		if t == netlist.Nor {
-			o = out.Not()
-		}
-		all := make([]sat.Lit, 0, len(fan)+1)
-		for _, f := range fan {
-			s.AddClause(o, f.Not())
-			all = append(all, f)
-		}
-		s.AddClause(append(all, o.Not())...)
-	case netlist.Xor, netlist.Xnor:
-		o := out
-		if t == netlist.Xnor {
-			o = out.Not()
-		}
-		acc := fan[0]
-		for i := 1; i < len(fan); i++ {
-			dst := o
-			if i != len(fan)-1 {
-				dst = sat.MkLit(s.NewVar(), false)
-			}
-			emitXor2(s, dst, acc, fan[i])
-			acc = dst
-		}
-		if len(fan) == 1 {
-			s.AddClause(o.Not(), fan[0])
-			s.AddClause(o, fan[0].Not())
-		}
-	default:
-		return fmt.Errorf("atpg: unsupported gate type %v", t)
-	}
-	return nil
-}
-
-func emitXor2(s *sat.Solver, d, a, b sat.Lit) {
-	s.AddClause(d.Not(), a, b)
-	s.AddClause(d.Not(), a.Not(), b.Not())
-	s.AddClause(d, a.Not(), b)
-	s.AddClause(d, a, b.Not())
 }
 
 // Summary aggregates a full ATPG campaign.
@@ -311,14 +265,17 @@ func (s Summary) RedundantPlusAborted() int { return s.Redundant + s.Aborted }
 // list, drop the easy faults with `randomBlocks` blocks of random-pattern
 // fault simulation (the HOPE step), then target every remaining fault
 // with the SAT generator. Each generated pattern is fault-simulated with
-// dropping so later faults skip generation when already covered.
+// dropping so later faults skip generation when already covered. The
+// fault simulator's compiled program is reused for every cone encoding,
+// so the circuit is never recompiled per fault.
 func Run(c *netlist.Circuit, fsim *faultsim.Simulator, randomResult faultsim.Result, opts Options) (Summary, error) {
+	prog := fsim.Program()
 	sum := Summary{Total: randomResult.Total, Detected: randomResult.Detected}
 	live := append([]faultsim.Fault(nil), randomResult.Remaining...)
 	for len(live) > 0 {
 		f := live[0]
 		live = live[1:]
-		out, err := Generate(c, f, opts)
+		out, err := GenerateProgram(prog, f, opts)
 		if err != nil {
 			return sum, err
 		}

@@ -51,6 +51,9 @@ func AppSAT(locked *netlist.Circuit, o oracle.Oracle, opts AppSATOptions) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	// Settlement evaluates the candidate key on the miter's compiled
+	// program; no second compile of the locked circuit.
+	ev := sim.EvaluatorFor(m.Prog)
 	res := &Result{}
 	maxIter := opts.iterations(10000)
 
@@ -120,7 +123,7 @@ func AppSAT(locked *netlist.Circuit, o oracle.Oracle, opts AppSATOptions) (*Resu
 				res.OracleQueries = o.Queries()
 				return res, err
 			}
-			got, err := sim.Eval(locked, xr, key)
+			got, err := ev.Eval(xr, key)
 			if err != nil {
 				return res, err
 			}

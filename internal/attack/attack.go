@@ -105,6 +105,10 @@ func SampleDisagreement(locked *netlist.Circuit, key []bool, o oracle.Oracle, sa
 	if samples <= 0 {
 		return 0, fmt.Errorf("attack: non-positive sample count %d", samples)
 	}
+	ev, err := sim.NewEvaluator(locked)
+	if err != nil {
+		return 0, err
+	}
 	bad := 0
 	x := make([]bool, locked.NumInputs())
 	for i := 0; i < samples; i++ {
@@ -113,7 +117,7 @@ func SampleDisagreement(locked *netlist.Circuit, key []bool, o oracle.Oracle, sa
 		if err != nil {
 			return 0, err
 		}
-		got, err := sim.Eval(locked, x, key)
+		got, err := ev.Eval(x, key)
 		if err != nil {
 			return 0, err
 		}

@@ -30,6 +30,11 @@ type BypassResult struct {
 	Patches map[string][]bool
 	// OracleQueries counts oracle accesses.
 	OracleQueries int
+
+	// evalFor/eval memoize the compiled evaluator of the last circuit
+	// passed to Eval, so verification loops do not recompile per pattern.
+	evalFor *netlist.Circuit
+	eval    *sim.Evaluator
 }
 
 // Bypass runs the bypass attack of Xu et al. (CHES'17): instead of
@@ -104,12 +109,21 @@ func Bypass(locked *netlist.Circuit, o oracle.Oracle, chosenKey []bool, opts Byp
 
 // Eval evaluates the patched design: the locked circuit under the chosen
 // key, with the patch table overriding the bypassed inputs. This is the
-// functional view of the attacker's bypass hardware.
+// functional view of the attacker's bypass hardware. The circuit is
+// compiled on first use and reused while the same circuit is passed, so
+// sampling loops stay cheap; not safe for concurrent use.
 func (b *BypassResult) Eval(locked *netlist.Circuit, x []bool) ([]bool, error) {
 	if y, ok := b.Patches[patternKey(x)]; ok {
 		return append([]bool(nil), y...), nil
 	}
-	return sim.Eval(locked, x, b.Key)
+	if b.eval == nil || b.evalFor != locked {
+		ev, err := sim.NewEvaluator(locked)
+		if err != nil {
+			return nil, err
+		}
+		b.eval, b.evalFor = ev, locked
+	}
+	return b.eval.Eval(x, b.Key)
 }
 
 // PatchHardwareGE estimates the bypass hardware in NAND2 gate

@@ -31,7 +31,7 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	m2, err := newMiterShared(s, locked, m1.PIVars)
+	m2, err := newMiterShared(s, m1)
 	if err != nil {
 		return nil, err
 	}
@@ -102,20 +102,22 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 	return res, nil
 }
 
-// newMiterShared builds a miter whose primary inputs reuse existing
-// variables, for multi-miter formulations.
-func newMiterShared(s *sat.Solver, c *netlist.Circuit, piVars []sat.Var) (*cnf.Miter, error) {
-	a, err := cnf.Encode(s, c, cnf.Options{PIVars: piVars})
+// newMiterShared builds a second miter over base's compiled program whose
+// primary inputs reuse base's variables, for multi-miter formulations.
+func newMiterShared(s *sat.Solver, base *cnf.Miter) (*cnf.Miter, error) {
+	piVars := base.PIVars
+	a, err := cnf.EncodeProgram(s, base.Prog, cnf.Options{PIVars: piVars})
 	if err != nil {
 		return nil, err
 	}
-	bb, err := cnf.Encode(s, c, cnf.Options{PIVars: piVars})
+	bb, err := cnf.EncodeProgram(s, base.Prog, cnf.Options{PIVars: piVars})
 	if err != nil {
 		return nil, err
 	}
 	m := &cnf.Miter{
 		S:       s,
-		Circuit: c,
+		Circuit: base.Circuit,
+		Prog:    base.Prog,
 		PIVars:  piVars,
 		Key1:    a.KeyVars,
 		Key2:    bb.KeyVars,

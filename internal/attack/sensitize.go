@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orap/internal/cnf"
+	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/rng"
@@ -54,12 +55,19 @@ func Sensitize(locked *netlist.Circuit, o oracle.Oracle, opts SensitizeOptions) 
 	res.Key = make([]bool, nk)
 	res.Determined = make([]bool, nk)
 
+	// One compile serves both the cone analysis and the verify loop.
+	prog, err := ir.Compile(locked)
+	if err != nil {
+		return nil, err
+	}
+	ev := sim.EvaluatorFor(prog)
+
 	// Structural analysis: which outputs does each key bit reach, and
 	// which outputs see exactly one key bit (isolated propagation, the
 	// directly attackable case of Yasin et al.).
 	keysReaching := make([][]int, locked.NumOutputs()) // per output: key bit indices in its TFI
 	for b, keyNode := range locked.Keys {
-		inCone := locked.TransitiveFanout(keyNode)
+		inCone := prog.TransitiveFanout(keyNode)
 		for j, po := range locked.POs {
 			if inCone[po] {
 				keysReaching[j] = append(keysReaching[j], b)
@@ -120,11 +128,11 @@ func Sensitize(locked *netlist.Circuit, o oracle.Oracle, opts SensitizeOptions) 
 			copy(key1, otherKey)
 			key0[bit] = false
 			key1[bit] = true
-			o0, err := sim.Eval(locked, x, key0)
+			o0, err := ev.Eval(x, key0)
 			if err != nil {
 				return res, err
 			}
-			o1, err := sim.Eval(locked, x, key1)
+			o1, err := ev.Eval(x, key1)
 			if err != nil {
 				return res, err
 			}

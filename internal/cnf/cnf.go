@@ -8,11 +8,17 @@
 // more copies with the inputs fixed to the distinguishing pattern and the
 // outputs fixed to the oracle's response. All of those encodings are
 // provided here so the attack packages stay free of clause-level detail.
+//
+// Encoding runs over the compiled circuit IR (internal/ir): a Miter
+// compiles its circuit once and every per-query copy re-walks the same
+// flat program, so clause emission order — and hence variable numbering —
+// is reproducible and independent of the netlist's mutable state.
 package cnf
 
 import (
 	"fmt"
 
+	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/sat"
 )
@@ -45,35 +51,44 @@ type Options struct {
 }
 
 // Encode adds one Tseitin copy of c to the solver and returns the variable
-// mapping.
+// mapping. It compiles the circuit per call; repeat encoders (miters,
+// per-query copies) should compile once and use EncodeProgram.
 func Encode(s *sat.Solver, c *netlist.Circuit, opts Options) (*Instance, error) {
-	if opts.PIVars != nil && len(opts.PIVars) != c.NumInputs() {
-		return nil, fmt.Errorf("cnf: %d shared PI vars for %d inputs", len(opts.PIVars), c.NumInputs())
-	}
-	if opts.KeyVars != nil && len(opts.KeyVars) != c.NumKeys() {
-		return nil, fmt.Errorf("cnf: %d shared key vars for %d key inputs", len(opts.KeyVars), c.NumKeys())
-	}
-	if opts.FixedPIs != nil && len(opts.FixedPIs) != c.NumInputs() {
-		return nil, fmt.Errorf("cnf: %d fixed PI bits for %d inputs", len(opts.FixedPIs), c.NumInputs())
-	}
-	order, err := c.TopoOrder()
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
+	return EncodeProgram(s, prog, opts)
+}
 
-	inst := &Instance{NodeVar: make([]sat.Var, c.NumNodes())}
+// EncodeProgram adds one Tseitin copy of the compiled circuit to the
+// solver and returns the variable mapping. Variable numbering follows the
+// program's topological order, so repeated encodings of the same program
+// are structurally identical.
+func EncodeProgram(s *sat.Solver, prog *ir.Program, opts Options) (*Instance, error) {
+	if opts.PIVars != nil && len(opts.PIVars) != prog.NumInputs() {
+		return nil, fmt.Errorf("cnf: %d shared PI vars for %d inputs", len(opts.PIVars), prog.NumInputs())
+	}
+	if opts.KeyVars != nil && len(opts.KeyVars) != prog.NumKeys() {
+		return nil, fmt.Errorf("cnf: %d shared key vars for %d key inputs", len(opts.KeyVars), prog.NumKeys())
+	}
+	if opts.FixedPIs != nil && len(opts.FixedPIs) != prog.NumInputs() {
+		return nil, fmt.Errorf("cnf: %d fixed PI bits for %d inputs", len(opts.FixedPIs), prog.NumInputs())
+	}
+
+	inst := &Instance{NodeVar: make([]sat.Var, prog.NumNodes())}
 	for i := range inst.NodeVar {
 		inst.NodeVar[i] = -1
 	}
 	// Assign input variables first (shared or fresh).
-	for i, id := range c.PIs {
+	for i, id := range prog.PIs {
 		if opts.PIVars != nil {
 			inst.NodeVar[id] = opts.PIVars[i]
 		} else {
 			inst.NodeVar[id] = s.NewVar()
 		}
 	}
-	for i, id := range c.Keys {
+	for i, id := range prog.Keys {
 		if opts.KeyVars != nil {
 			inst.NodeVar[id] = opts.KeyVars[i]
 		} else {
@@ -81,9 +96,11 @@ func Encode(s *sat.Solver, c *netlist.Circuit, opts Options) (*Instance, error) 
 		}
 	}
 
-	for _, id := range order {
-		g := &c.Gates[id]
-		if g.Type == netlist.Input {
+	var fan []sat.Lit
+	for _, id32 := range prog.Order {
+		id := int(id32)
+		op := prog.Ops[id]
+		if op == ir.OpInput {
 			if inst.NodeVar[id] < 0 {
 				return nil, fmt.Errorf("cnf: input node %d not in PI/key lists", id)
 			}
@@ -91,25 +108,26 @@ func Encode(s *sat.Solver, c *netlist.Circuit, opts Options) (*Instance, error) 
 		}
 		v := s.NewVar()
 		inst.NodeVar[id] = v
-		fan := make([]sat.Lit, len(g.Fanin))
-		for i, f := range g.Fanin {
-			fan[i] = sat.MkLit(inst.NodeVar[f], false)
+		span := prog.FaninSpan(id)
+		fan = fan[:0]
+		for _, f := range span {
+			fan = append(fan, sat.MkLit(inst.NodeVar[f], false))
 		}
-		if err := encodeGate(s, g.Type, sat.MkLit(v, false), fan); err != nil {
+		if err := EmitGate(s, op, sat.MkLit(v, false), fan); err != nil {
 			return nil, fmt.Errorf("cnf: node %d: %w", id, err)
 		}
 	}
 
-	inst.PIVars = make([]sat.Var, len(c.PIs))
-	for i, id := range c.PIs {
+	inst.PIVars = make([]sat.Var, len(prog.PIs))
+	for i, id := range prog.PIs {
 		inst.PIVars[i] = inst.NodeVar[id]
 	}
-	inst.KeyVars = make([]sat.Var, len(c.Keys))
-	for i, id := range c.Keys {
+	inst.KeyVars = make([]sat.Var, len(prog.Keys))
+	for i, id := range prog.Keys {
 		inst.KeyVars[i] = inst.NodeVar[id]
 	}
-	inst.POVars = make([]sat.Var, len(c.POs))
-	for i, id := range c.POs {
+	inst.POVars = make([]sat.Var, len(prog.POs))
+	for i, id := range prog.POs {
 		inst.POVars[i] = inst.NodeVar[id]
 	}
 
@@ -121,31 +139,32 @@ func Encode(s *sat.Solver, c *netlist.Circuit, opts Options) (*Instance, error) 
 	return inst, nil
 }
 
-// encodeGate emits the Tseitin clauses for out ↔ type(fan...).
-func encodeGate(s *sat.Solver, t netlist.GateType, out sat.Lit, fan []sat.Lit) error {
-	switch t {
-	case netlist.Const0:
+// EmitGate emits the Tseitin clauses for out ↔ op(fan...). It is shared
+// with the ATPG encoder so every SAT path emits the same clause shapes.
+func EmitGate(s *sat.Solver, op ir.Op, out sat.Lit, fan []sat.Lit) error {
+	switch op {
+	case ir.OpConst0:
 		s.AddClause(out.Not())
-	case netlist.Const1:
+	case ir.OpConst1:
 		s.AddClause(out)
-	case netlist.Buf:
+	case ir.OpBuf:
 		equiv(s, out, fan[0])
-	case netlist.Not:
+	case ir.OpNot:
 		equiv(s, out, fan[0].Not())
-	case netlist.And:
+	case ir.OpAnd:
 		andGate(s, out, fan)
-	case netlist.Nand:
+	case ir.OpNand:
 		andGate(s, out.Not(), fan)
-	case netlist.Or:
+	case ir.OpOr:
 		orGate(s, out, fan)
-	case netlist.Nor:
+	case ir.OpNor:
 		orGate(s, out.Not(), fan)
-	case netlist.Xor:
+	case ir.OpXor:
 		xorChain(s, out, fan)
-	case netlist.Xnor:
+	case ir.OpXnor:
 		xorChain(s, out.Not(), fan)
 	default:
-		return fmt.Errorf("unsupported gate type %v", t)
+		return fmt.Errorf("unsupported gate type %v", op)
 	}
 	return nil
 }
@@ -178,8 +197,9 @@ func orGate(s *sat.Solver, out sat.Lit, fan []sat.Lit) {
 	s.AddClause(all...) // out → ∨f
 }
 
-// xor2 emits out ↔ a ⊕ b.
-func xor2(s *sat.Solver, out, a, b sat.Lit) {
+// EmitXor2 emits out ↔ a ⊕ b (the four-clause XOR constraint used for
+// miter disequality bits as well as gate encodings).
+func EmitXor2(s *sat.Solver, out, a, b sat.Lit) {
 	s.AddClause(out.Not(), a, b)
 	s.AddClause(out.Not(), a.Not(), b.Not())
 	s.AddClause(out, a.Not(), b)
@@ -197,7 +217,7 @@ func xorChain(s *sat.Solver, out sat.Lit, fan []sat.Lit) {
 		} else {
 			dst = sat.MkLit(s.NewVar(), false)
 		}
-		xor2(s, dst, acc, fan[i])
+		EmitXor2(s, dst, acc, fan[i])
 		acc = dst
 	}
 	if len(fan) == 1 {
@@ -222,11 +242,14 @@ func ConstrainBits(s *sat.Solver, vars []sat.Var, bits []bool) error {
 type Miter struct {
 	S       *sat.Solver
 	Circuit *netlist.Circuit
-	PIVars  []sat.Var
-	Key1    []sat.Var
-	Key2    []sat.Var
-	Out1    []sat.Var
-	Out2    []sat.Var
+	// Prog is the compiled form of Circuit; every per-query copy is
+	// encoded from it, so the circuit is compiled exactly once per miter.
+	Prog   *ir.Program
+	PIVars []sat.Var
+	Key1   []sat.Var
+	Key2   []sat.Var
+	Out1   []sat.Var
+	Out2   []sat.Var
 	// Act is an activation variable guarding the output-disequality
 	// clause: solve under assumption Act=true to search for a
 	// distinguishing input, and under Act=false to extract a key that is
@@ -241,23 +264,28 @@ func (m *Miter) AssumeDiff() sat.Lit { return sat.MkLit(m.Act, false) }
 // used for final key extraction.
 func (m *Miter) AssumeNoDiff() sat.Lit { return sat.MkLit(m.Act, true) }
 
-// NewMiter encodes the miter for the locked circuit c into a fresh
-// configuration on solver s and asserts output disequality.
+// NewMiter compiles the locked circuit c once, encodes the miter into a
+// fresh configuration on solver s and asserts output disequality.
 func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
 	if c.NumKeys() == 0 {
 		return nil, fmt.Errorf("cnf: miter over circuit %q with no key inputs", c.Name)
 	}
-	a, err := Encode(s, c, Options{})
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	b, err := Encode(s, c, Options{PIVars: a.PIVars})
+	a, err := EncodeProgram(s, prog, Options{})
+	if err != nil {
+		return nil, err
+	}
+	b, err := EncodeProgram(s, prog, Options{PIVars: a.PIVars})
 	if err != nil {
 		return nil, err
 	}
 	m := &Miter{
 		S:       s,
 		Circuit: c,
+		Prog:    prog,
 		PIVars:  a.PIVars,
 		Key1:    a.KeyVars,
 		Key2:    b.KeyVars,
@@ -270,7 +298,7 @@ func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
 	diffs = append(diffs, sat.MkLit(m.Act, true))
 	for i := range a.POVars {
 		d := sat.MkLit(s.NewVar(), false)
-		xor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(b.POVars[i], false))
+		EmitXor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(b.POVars[i], false))
 		diffs = append(diffs, d)
 	}
 	s.AddClause(diffs...)
@@ -279,10 +307,11 @@ func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
 
 // AddIOConstraint records an oracle observation: for input pattern x with
 // oracle response y, both key copies must reproduce y on x. Two fresh
-// circuit copies (with constant inputs) are encoded per call.
+// copies of the compiled program (with constant inputs) are encoded per
+// call.
 func (m *Miter) AddIOConstraint(x, y []bool) error {
 	for _, keys := range [][]sat.Var{m.Key1, m.Key2} {
-		inst, err := Encode(m.S, m.Circuit, Options{KeyVars: keys, FixedPIs: x})
+		inst, err := EncodeProgram(m.S, m.Prog, Options{KeyVars: keys, FixedPIs: x})
 		if err != nil {
 			return err
 		}

@@ -104,7 +104,7 @@ func TestEncodeSharedVariables(t *testing.T) {
 	diffs := make([]sat.Lit, 0, 2)
 	for i := range a.POVars {
 		d := sat.MkLit(s.NewVar(), false)
-		xor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(b.POVars[i], false))
+		EmitXor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(b.POVars[i], false))
 		diffs = append(diffs, d)
 	}
 	s.AddClause(diffs...)

@@ -58,12 +58,8 @@ func SATScaling(opts SATScalingOptions) ([]SATScalingRow, error) {
 	}
 	// Widths fan out across the pool; the defenses inside one width stay
 	// serial because they draw from the width's shared stream in order.
-	// The carrier circuit is shared read-only, so its lazy caches are
-	// warmed before the fan-out.
-	circuit.MustTopoOrder()
-	if _, err := circuit.Levels(); err != nil {
-		return nil, err
-	}
+	// The carrier circuit is shared read-only, which is safe without any
+	// warm-up: evaluators compile their own immutable programs.
 	perWidth := make([][]SATScalingRow, len(widths))
 	err = par.ForEach(opts.Workers, len(widths), func(wi int) error {
 		w := widths[wi]
@@ -219,12 +215,7 @@ func CtrlWidthSweep(seed uint64, widths []int, workers int) ([]CtrlWidthRow, err
 	if err != nil {
 		return nil, err
 	}
-	// The carrier circuit is shared read-only across widths: warm its
-	// lazy caches before the fan-out.
-	circuit.MustTopoOrder()
-	if _, err := circuit.Levels(); err != nil {
-		return nil, err
-	}
+	// The carrier circuit is shared read-only across widths.
 	rows := make([]CtrlWidthRow, len(widths))
 	err = par.ForEach(workers, len(widths), func(i int) error {
 		w := widths[i]
@@ -291,10 +282,6 @@ func KeySizeSweep(seed uint64, sizes []int, workers int) ([]KeySizeRow, error) {
 	scaled := prof.Scale(0.05)
 	circuit, err := benchgen.Generate(scaled, seed)
 	if err != nil {
-		return nil, err
-	}
-	circuit.MustTopoOrder()
-	if _, err := circuit.Levels(); err != nil {
 		return nil, err
 	}
 	rows := make([]KeySizeRow, len(sizes))

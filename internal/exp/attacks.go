@@ -6,7 +6,6 @@ import (
 	"orap/internal/attack"
 	"orap/internal/benchgen"
 	"orap/internal/lock"
-	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
 	"orap/internal/par"
@@ -114,15 +113,9 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		}},
 	}
 
-	// The cells share the locked and reference circuits read-only; their
-	// lazily cached topological orders and levels are warmed here, before
-	// the fan-out, so concurrent first uses cannot race on the caches.
-	for _, c := range []*netlist.Circuit{circuit, l.Circuit} {
-		c.MustTopoOrder()
-		if _, err := c.Levels(); err != nil {
-			return nil, err
-		}
-	}
+	// The cells share the locked and reference circuits read-only; every
+	// evaluator compiles its own immutable program, so no warm-up is
+	// needed before the fan-out.
 	type cell struct {
 		prot scan.Protection
 		a    attackFn

@@ -135,10 +135,14 @@ func patchedMatches(design interface {
 	NumInputs() int
 }, l *lock.Locked, res *attack.BypassResult, seed uint64) bool {
 	r := rng.NewNamed(seed, "other/verify")
+	ev, err := sim.NewEvaluator(l.Circuit)
+	if err != nil {
+		return false
+	}
 	x := make([]bool, design.NumInputs())
 	for trial := 0; trial < 256; trial++ {
 		r.Bits(x)
-		want, err := sim.Eval(l.Circuit, x, l.Key) // correct key = original function
+		want, err := ev.Eval(x, l.Key) // correct key = original function
 		if err != nil {
 			return false
 		}

@@ -7,11 +7,15 @@
 // parallel-pattern single-fault propagation (PPSFP): the good circuit is
 // evaluated once per 64-pattern block, then each live fault is injected
 // and its effect propagated event-wise through its fanout cone only.
+// Good values and fault propagation both run over the compiled circuit
+// IR (internal/ir), sharing one immutable program — and the same gate
+// kernel — with the bit-parallel simulator.
 package faultsim
 
 import (
 	"fmt"
 
+	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/par"
 	"orap/internal/rng"
@@ -118,11 +122,8 @@ type Simulator struct {
 	// order of Remaining — does not depend on it.
 	Workers int
 
-	c      *netlist.Circuit
-	par    *sim.Parallel
-	order  []int
-	pos    []int // node -> position in topological order
-	fanout [][]int
+	prog *ir.Program
+	par  *sim.Parallel
 
 	// Per-run scratch, epoch-stamped to avoid clearing.
 	faulty    []uint64
@@ -134,58 +135,59 @@ type Simulator struct {
 	isPO []bool
 }
 
-// New builds a fault simulator with one 64-pattern word per node.
+// New compiles c and builds a fault simulator with one 64-pattern word
+// per node.
 func New(c *netlist.Circuit) (*Simulator, error) {
-	par, err := sim.NewParallel(c, 1)
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	order, err := c.TopoOrder()
+	return ForProgram(prog)
+}
+
+// ForProgram builds a fault simulator over an already-compiled program,
+// sharing it read-only with any other consumer.
+func ForProgram(prog *ir.Program) (*Simulator, error) {
+	par, err := sim.ForProgram(prog, 1)
 	if err != nil {
 		return nil, err
 	}
-	pos := make([]int, c.NumNodes())
-	for i, id := range order {
-		pos[id] = i
-	}
-	isPO := make([]bool, c.NumNodes())
-	for _, o := range c.POs {
+	n := prog.NumNodes()
+	isPO := make([]bool, n)
+	for _, o := range prog.POs {
 		isPO[o] = true
 	}
 	s := &Simulator{
-		c:         c,
+		prog:      prog,
 		par:       par,
-		order:     order,
-		pos:       pos,
-		fanout:    c.FanoutLists(),
-		faulty:    make([]uint64, c.NumNodes()),
-		stamp:     make([]int, c.NumNodes()),
-		seenStamp: make([]int, c.NumNodes()),
+		faulty:    make([]uint64, n),
+		stamp:     make([]int, n),
+		seenStamp: make([]int, n),
 		isPO:      isPO,
 	}
-	s.heap.pos = pos
+	s.heap.pos = prog.Pos
 	return s, nil
 }
 
-// clone returns a propagation worker sharing the (read-only) circuit
-// structure and the good-circuit evaluator, with private fault-effect
+// Program returns the simulator's compiled program.
+func (s *Simulator) Program() *ir.Program { return s.prog }
+
+// clone returns a propagation worker sharing the (read-only) compiled
+// program and the good-circuit evaluator, with private fault-effect
 // scratch. Clones only read s.par between the good-value Run and the
 // merge barrier, so a batch of clones can simulate disjoint fault chunks
 // of the same block concurrently.
 func (s *Simulator) clone() *Simulator {
-	n := s.c.NumNodes()
+	n := s.prog.NumNodes()
 	cl := &Simulator{
-		c:         s.c,
+		prog:      s.prog,
 		par:       s.par,
-		order:     s.order,
-		pos:       s.pos,
-		fanout:    s.fanout,
 		faulty:    make([]uint64, n),
 		stamp:     make([]int, n),
 		seenStamp: make([]int, n),
 		isPO:      s.isPO,
 	}
-	cl.heap.pos = s.pos
+	cl.heap.pos = s.prog.Pos
 	return cl
 }
 
@@ -207,60 +209,23 @@ func (s *Simulator) setFaulty(id int, v uint64) {
 }
 
 // evalFaulty recomputes node id's value from the faulty values of its
-// fanins, honouring an input-pin fault on (fnode, fpin).
+// fanins via the shared IR gate kernel, honouring an input-pin fault on
+// (fnode, fpin).
 func (s *Simulator) evalFaulty(id int, f Fault) uint64 {
-	g := &s.c.Gates[id]
-	pinVal := func(pin int) uint64 {
-		v := s.faultyValue(g.Fanin[pin])
+	op := s.prog.Ops[id]
+	if op == ir.OpInput {
+		return s.goodValue(id)
+	}
+	fan := s.prog.FaninSpan(id)
+	return ir.EvalWord(op, len(fan), func(pin int) uint64 {
 		if id == f.Node && pin == f.Pin {
 			if f.SA1 {
-				v = ^uint64(0)
-			} else {
-				v = 0
+				return ^uint64(0)
 			}
+			return 0
 		}
-		return v
-	}
-	switch g.Type {
-	case netlist.Input:
-		return s.goodValue(id)
-	case netlist.Const0:
-		return 0
-	case netlist.Const1:
-		return ^uint64(0)
-	case netlist.Buf:
-		return pinVal(0)
-	case netlist.Not:
-		return ^pinVal(0)
-	case netlist.And, netlist.Nand:
-		v := ^uint64(0)
-		for pin := range g.Fanin {
-			v &= pinVal(pin)
-		}
-		if g.Type == netlist.Nand {
-			v = ^v
-		}
-		return v
-	case netlist.Or, netlist.Nor:
-		v := uint64(0)
-		for pin := range g.Fanin {
-			v |= pinVal(pin)
-		}
-		if g.Type == netlist.Nor {
-			v = ^v
-		}
-		return v
-	case netlist.Xor, netlist.Xnor:
-		v := uint64(0)
-		for pin := range g.Fanin {
-			v ^= pinVal(pin)
-		}
-		if g.Type == netlist.Xnor {
-			v = ^v
-		}
-		return v
-	}
-	return 0
+		return s.faultyValue(int(fan[pin]))
+	})
 }
 
 // simulateFault propagates one fault over the current block and reports
@@ -292,17 +257,17 @@ func (s *Simulator) simulateFault(f Fault) bool {
 	// the heap storage are reused across faults to stay allocation-free.
 	h := &s.heap
 	h.heap = h.heap[:0]
-	push := func(id int) {
+	push := func(id int32) {
 		if s.seenStamp[id] != s.epoch {
 			s.seenStamp[id] = s.epoch
 			h.push(id)
 		}
 	}
-	for _, fo := range s.fanout[root] {
+	for _, fo := range s.prog.FanoutSpan(root) {
 		push(fo)
 	}
 	for h.len() > 0 {
-		id := h.pop()
+		id := int(h.pop())
 		nv := s.evalFaulty(id, f)
 		if nv == s.goodValue(id) {
 			continue
@@ -311,7 +276,7 @@ func (s *Simulator) simulateFault(f Fault) bool {
 		if s.isPO[id] {
 			return true
 		}
-		for _, fo := range s.fanout[id] {
+		for _, fo := range s.prog.FanoutSpan(id) {
 			push(fo)
 		}
 	}
@@ -357,8 +322,8 @@ func (s *Simulator) RunRandom(faults []Fault, blocks int, r *rng.Stream) Result 
 	var clones []*Simulator // lazily grown; slot 0 is s itself
 	var detected []bool
 	for b := 0; b < blocks && len(live) > 0; b++ {
-		for _, id := range s.c.AllInputs() {
-			s.par.Value(id)[0] = r.Uint64()
+		for _, id := range s.prog.Inputs {
+			s.par.Value(int(id))[0] = r.Uint64()
 		}
 		s.par.Run()
 		if workers <= 1 || len(live) < parallelFaultFloor {
@@ -412,15 +377,15 @@ func (s *Simulator) RunRandom(faults []Fault, blocks int, r *rng.Stream) Result 
 // DetectsWithPattern reports whether the given single test pattern
 // (covering primary inputs then key inputs) detects the fault.
 func (s *Simulator) DetectsWithPattern(f Fault, pattern []bool) (bool, error) {
-	all := s.c.AllInputs()
-	if len(pattern) != len(all) {
-		return false, fmt.Errorf("faultsim: pattern width %d != inputs %d", len(pattern), len(all))
+	ins := s.prog.Inputs
+	if len(pattern) != len(ins) {
+		return false, fmt.Errorf("faultsim: pattern width %d != inputs %d", len(pattern), len(ins))
 	}
-	for i, id := range all {
+	for i, id := range ins {
 		if pattern[i] {
-			s.par.Value(id)[0] = ^uint64(0)
+			s.par.Value(int(id))[0] = ^uint64(0)
 		} else {
-			s.par.Value(id)[0] = 0
+			s.par.Value(int(id))[0] = 0
 		}
 	}
 	s.par.Run()
@@ -430,13 +395,13 @@ func (s *Simulator) DetectsWithPattern(f Fault, pattern []bool) (bool, error) {
 // posHeap is a small binary min-heap of node IDs keyed by topological
 // position, used to process fault events in dependency order.
 type posHeap struct {
-	pos  []int
-	heap []int
+	pos  []int32
+	heap []int32
 }
 
 func (h *posHeap) len() int { return len(h.heap) }
 
-func (h *posHeap) push(id int) {
+func (h *posHeap) push(id int32) {
 	h.heap = append(h.heap, id)
 	i := len(h.heap) - 1
 	for i > 0 {
@@ -449,7 +414,7 @@ func (h *posHeap) push(id int) {
 	}
 }
 
-func (h *posHeap) pop() int {
+func (h *posHeap) pop() int32 {
 	top := h.heap[0]
 	last := len(h.heap) - 1
 	h.heap[0] = h.heap[last]

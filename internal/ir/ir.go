@@ -1,0 +1,316 @@
+// Package ir compiles gate-level circuits into an immutable, levelized
+// program that every evaluation backend shares.
+//
+// A netlist.Circuit is a mutable builder: gates live in a slice of
+// structs with per-gate fanin slices, and consumers used to walk it with
+// their own copies of the gate-evaluation switch. ir.Compile flattens a
+// finished circuit once into a Program — CSR-style fanin and fanout
+// arrays, a compact opcode table, a precomputed topological order with
+// its level schedule, and PI/key/PO index maps — and the simulator,
+// fault simulator, CNF encoder, AIG builder and ATPG all consume that
+// flat view. A Program is never modified after Compile returns, so any
+// number of goroutines can evaluate it concurrently without warm-up or
+// synchronization.
+//
+// Invariants established by Compile:
+//
+//   - Order is a topological order: every node appears after all of its
+//     fanins. It is the same order netlist.(*Circuit).TopoOrder returns
+//     (Kahn's algorithm with a FIFO queue seeded in ID order), so CNF
+//     variable numbering and AIG construction are reproducible across
+//     the compiled and uncompiled paths.
+//   - Order is level-monotone: node levels are non-decreasing along it.
+//     LevelStart records the level boundaries, so Order doubles as a
+//     wavefront schedule (all nodes of one level may be evaluated in
+//     parallel once the previous level is done).
+//   - Fanins preserves pin order; Fanouts mirrors every fanin edge, with
+//     duplicate edges kept (matching netlist.FanoutLists).
+package ir
+
+import (
+	"fmt"
+
+	"orap/internal/netlist"
+)
+
+// Op is a compact gate opcode. The values mirror netlist.GateType
+// exactly, so conversion is a cast in either direction.
+type Op uint8
+
+// Opcodes, in netlist.GateType order.
+const (
+	OpInput Op = iota
+	OpConst0
+	OpConst1
+	OpBuf
+	OpNot
+	OpAnd
+	OpNand
+	OpOr
+	OpNor
+	OpXor
+	OpXnor
+)
+
+// String returns the conventional gate name.
+func (o Op) String() string { return netlist.GateType(o).String() }
+
+// GateType returns the netlist gate type the opcode mirrors.
+func (o Op) GateType() netlist.GateType { return netlist.GateType(o) }
+
+// Program is an immutable compiled circuit. All slice fields are
+// read-only after Compile returns; they may be shared freely across
+// goroutines and across evaluator clones.
+type Program struct {
+	// Name echoes the source circuit's name.
+	Name string
+
+	// Ops holds the opcode of every node; the index is the node ID
+	// (identical to the source circuit's node IDs).
+	Ops []Op
+
+	// FaninStart/Fanins is the CSR fanin adjacency: the fanins of node
+	// id are Fanins[FaninStart[id]:FaninStart[id+1]], in pin order.
+	FaninStart []int32
+	Fanins     []int32
+
+	// FanoutStart/Fanouts is the CSR fanout adjacency: the nodes driven
+	// by id are Fanouts[FanoutStart[id]:FanoutStart[id+1]]. Duplicate
+	// fanin edges yield duplicate fanout entries.
+	FanoutStart []int32
+	Fanouts     []int32
+
+	// Order lists node IDs in topological, level-monotone order.
+	Order []int32
+	// Pos is the inverse of Order: Pos[id] is id's position in Order.
+	Pos []int32
+	// Level is the logic level of every node (inputs and constants 0,
+	// gates 1 + max fanin level).
+	Level []int32
+	// LevelStart indexes Order by level: the nodes of level l are
+	// Order[LevelStart[l]:LevelStart[l+1]]; len(LevelStart) is the
+	// number of levels + 1.
+	LevelStart []int32
+
+	// PIs, Keys and POs hold the primary-input, key-input and
+	// primary-output node IDs in declaration order. Inputs is PIs
+	// followed by Keys (the scan-chain controllability order).
+	PIs    []int32
+	Keys   []int32
+	POs    []int32
+	Inputs []int32
+}
+
+// Compile flattens a finished circuit into an immutable Program. The
+// circuit is only read; later mutations of it are not reflected in the
+// returned program. An error is returned if the circuit contains a
+// combinational cycle.
+func Compile(c *netlist.Circuit) (*Program, error) {
+	n := len(c.Gates)
+	p := &Program{
+		Name:        c.Name,
+		Ops:         make([]Op, n),
+		FaninStart:  make([]int32, n+1),
+		FanoutStart: make([]int32, n+1),
+		Order:       make([]int32, 0, n),
+		Pos:         make([]int32, n),
+		Level:       make([]int32, n),
+	}
+
+	// Opcodes and CSR fanins (pin order preserved).
+	edges := 0
+	for _, g := range c.Gates {
+		edges += len(g.Fanin)
+	}
+	p.Fanins = make([]int32, 0, edges)
+	for id, g := range c.Gates {
+		p.Ops[id] = Op(g.Type)
+		p.FaninStart[id] = int32(len(p.Fanins))
+		for _, f := range g.Fanin {
+			p.Fanins = append(p.Fanins, int32(f))
+		}
+	}
+	p.FaninStart[n] = int32(len(p.Fanins))
+
+	// CSR fanouts: count, prefix-sum, fill (restoring the prefix sums).
+	counts := make([]int32, n)
+	for _, f := range p.Fanins {
+		counts[f]++
+	}
+	var sum int32
+	for id, cnt := range counts {
+		p.FanoutStart[id] = sum
+		sum += cnt
+	}
+	p.FanoutStart[n] = sum
+	p.Fanouts = make([]int32, sum)
+	next := make([]int32, n)
+	copy(next, p.FanoutStart[:n])
+	for id := 0; id < n; id++ {
+		for _, f := range p.FaninSpan(id) {
+			p.Fanouts[next[f]] = int32(id)
+			next[f]++
+		}
+	}
+
+	// Kahn's algorithm with a FIFO queue seeded in ID order — the exact
+	// order netlist.TopoOrder produces, which is also level-monotone.
+	indeg := make([]int32, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = p.FaninStart[id+1] - p.FaninStart[id]
+	}
+	queue := make([]int32, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, int32(id))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		p.Order = append(p.Order, id)
+		for _, fo := range p.FanoutSpan(int(id)) {
+			indeg[fo]--
+			if indeg[fo] == 0 {
+				queue = append(queue, fo)
+			}
+		}
+	}
+	if len(p.Order) != n {
+		return nil, fmt.Errorf("ir: circuit %q contains a combinational cycle (%d of %d nodes ordered)", c.Name, len(p.Order), n)
+	}
+
+	// Positions, levels and the level schedule over Order.
+	maxLevel := int32(0)
+	for i, id := range p.Order {
+		p.Pos[id] = int32(i)
+		lv := int32(0)
+		for _, f := range p.FaninSpan(int(id)) {
+			if l := p.Level[f] + 1; l > lv {
+				lv = l
+			}
+		}
+		p.Level[id] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	p.LevelStart = make([]int32, maxLevel+2)
+	prev := int32(-1)
+	for i, id := range p.Order {
+		lv := p.Level[id]
+		if lv < prev {
+			return nil, fmt.Errorf("ir: internal error: order of %q not level-monotone at position %d", c.Name, i)
+		}
+		for ; prev < lv; prev++ {
+			p.LevelStart[prev+1] = int32(i)
+		}
+	}
+	for ; prev <= maxLevel; prev++ {
+		p.LevelStart[prev+1] = int32(n)
+	}
+
+	p.PIs = toInt32(c.PIs)
+	p.Keys = toInt32(c.Keys)
+	p.POs = toInt32(c.POs)
+	p.Inputs = make([]int32, 0, len(p.PIs)+len(p.Keys))
+	p.Inputs = append(p.Inputs, p.PIs...)
+	p.Inputs = append(p.Inputs, p.Keys...)
+	return p, nil
+}
+
+// MustCompile is Compile that panics on cyclic circuits; intended for
+// trusted, already-validated netlists.
+func MustCompile(c *netlist.Circuit) *Program {
+	p, err := Compile(c)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func toInt32(ids []int) []int32 {
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = int32(id)
+	}
+	return out
+}
+
+// NumNodes returns the total node count, including inputs and constants.
+func (p *Program) NumNodes() int { return len(p.Ops) }
+
+// NumInputs returns the primary (non-key) input count.
+func (p *Program) NumInputs() int { return len(p.PIs) }
+
+// NumKeys returns the key input count.
+func (p *Program) NumKeys() int { return len(p.Keys) }
+
+// NumOutputs returns the primary output count.
+func (p *Program) NumOutputs() int { return len(p.POs) }
+
+// NumLevels returns the number of logic levels (depth + 1).
+func (p *Program) NumLevels() int { return len(p.LevelStart) - 1 }
+
+// Depth returns the maximum logic level across primary outputs.
+func (p *Program) Depth() int {
+	d := int32(0)
+	for _, o := range p.POs {
+		if p.Level[o] > d {
+			d = p.Level[o]
+		}
+	}
+	return int(d)
+}
+
+// FaninSpan returns the fanin IDs of node id, in pin order. The returned
+// slice aliases the program and must not be modified.
+func (p *Program) FaninSpan(id int) []int32 {
+	return p.Fanins[p.FaninStart[id]:p.FaninStart[id+1]]
+}
+
+// FanoutSpan returns the IDs of the nodes driven by id. The returned
+// slice aliases the program and must not be modified.
+func (p *Program) FanoutSpan(id int) []int32 {
+	return p.Fanouts[p.FanoutStart[id]:p.FanoutStart[id+1]]
+}
+
+// TransitiveFanout marks every node in the transitive fanout cone of the
+// given roots (roots included).
+func (p *Program) TransitiveFanout(roots ...int) []bool {
+	out := make([]bool, p.NumNodes())
+	stack := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		stack = append(stack, int32(r))
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || int(id) >= len(out) || out[id] {
+			continue
+		}
+		out[id] = true
+		stack = append(stack, p.FanoutSpan(int(id))...)
+	}
+	return out
+}
+
+// TransitiveFanin marks every node in the transitive fanin cone of the
+// given roots (roots included).
+func (p *Program) TransitiveFanin(roots ...int) []bool {
+	in := make([]bool, p.NumNodes())
+	stack := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		stack = append(stack, int32(r))
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || int(id) >= len(in) || in[id] {
+			continue
+		}
+		in[id] = true
+		stack = append(stack, p.FaninSpan(int(id))...)
+	}
+	return in
+}

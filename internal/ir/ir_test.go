@@ -1,0 +1,213 @@
+package ir
+
+import (
+	"testing"
+
+	"orap/internal/netlist"
+)
+
+// TestOpMirrorsGateType pins the cast-compatibility contract between Op
+// and netlist.GateType.
+func TestOpMirrorsGateType(t *testing.T) {
+	pairs := []struct {
+		op Op
+		gt netlist.GateType
+	}{
+		{OpInput, netlist.Input}, {OpConst0, netlist.Const0}, {OpConst1, netlist.Const1},
+		{OpBuf, netlist.Buf}, {OpNot, netlist.Not}, {OpAnd, netlist.And},
+		{OpNand, netlist.Nand}, {OpOr, netlist.Or}, {OpNor, netlist.Nor},
+		{OpXor, netlist.Xor}, {OpXnor, netlist.Xnor},
+	}
+	for _, p := range pairs {
+		if uint8(p.op) != uint8(p.gt) {
+			t.Fatalf("opcode %v = %d does not mirror gate type %v = %d", p.op, p.op, p.gt, uint8(p.gt))
+		}
+		if p.op.String() != p.gt.String() {
+			t.Fatalf("opcode %v stringifies as %q, gate type as %q", p.op, p.op.String(), p.gt.String())
+		}
+	}
+}
+
+// testCircuit builds a small multi-level circuit exercising every
+// non-constant gate type.
+func testCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("irtest")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	k, _ := c.AddKeyInput("keyinput0")
+	one, _ := c.AddConst(true, "one")
+	n1 := c.MustAddGate(netlist.And, "n1", a, b)
+	n2 := c.MustAddGate(netlist.Xor, "n2", n1, k)
+	n3 := c.MustAddGate(netlist.Nor, "n3", a, n2, one)
+	n4 := c.MustAddGate(netlist.Not, "n4", n3)
+	n5 := c.MustAddGate(netlist.Nand, "n5", n2, n4)
+	n6 := c.MustAddGate(netlist.Or, "n6", n5, b)
+	n7 := c.MustAddGate(netlist.Xnor, "n7", n6, n1)
+	n8 := c.MustAddGate(netlist.Buf, "n8", n7)
+	c.MarkOutput(n5)
+	c.MarkOutput(n8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCompileMatchesNetlistViews checks the flat arrays against the
+// netlist package's reference computations: same topological order, same
+// levels, same fanout adjacency.
+func TestCompileMatchesNetlistViews(t *testing.T) {
+	c := testCircuit(t)
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(p.Order) {
+		t.Fatalf("order length %d vs netlist %d", len(p.Order), len(order))
+	}
+	for i, id := range order {
+		if int(p.Order[i]) != id {
+			t.Fatalf("order[%d] = %d, netlist has %d", i, p.Order[i], id)
+		}
+		if int(p.Pos[id]) != i {
+			t.Fatalf("pos[%d] = %d, want %d", id, p.Pos[id], i)
+		}
+	}
+	levels, err := c.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, lv := range levels {
+		if int(p.Level[id]) != lv {
+			t.Fatalf("level[%d] = %d, netlist has %d", id, p.Level[id], lv)
+		}
+	}
+	fanout := c.FanoutLists()
+	for id := range fanout {
+		span := p.FanoutSpan(id)
+		if len(span) != len(fanout[id]) {
+			t.Fatalf("node %d fanout count %d vs netlist %d", id, len(span), len(fanout[id]))
+		}
+		for i, f := range fanout[id] {
+			if int(span[i]) != f {
+				t.Fatalf("node %d fanout[%d] = %d, netlist has %d", id, i, span[i], f)
+			}
+		}
+	}
+	for id, g := range c.Gates {
+		span := p.FaninSpan(id)
+		if len(span) != len(g.Fanin) {
+			t.Fatalf("node %d fanin count %d vs netlist %d", id, len(span), len(g.Fanin))
+		}
+		for i, f := range g.Fanin {
+			if int(span[i]) != f {
+				t.Fatalf("node %d fanin[%d] = %d, netlist has %d", id, i, span[i], f)
+			}
+		}
+	}
+	if d, err := c.Depth(); err != nil || p.Depth() != d {
+		t.Fatalf("depth %d (err %v) vs program %d", d, err, p.Depth())
+	}
+}
+
+// TestLevelSchedule checks that LevelStart partitions Order into
+// contiguous, level-monotone wavefronts.
+func TestLevelSchedule(t *testing.T) {
+	p := MustCompile(testCircuit(t))
+	if p.LevelStart[0] != 0 || int(p.LevelStart[p.NumLevels()]) != p.NumNodes() {
+		t.Fatalf("level schedule does not span the order: %v", p.LevelStart)
+	}
+	for l := 0; l < p.NumLevels(); l++ {
+		for _, id := range p.Order[p.LevelStart[l]:p.LevelStart[l+1]] {
+			if int(p.Level[id]) != l {
+				t.Fatalf("node %d scheduled at level %d but has level %d", id, l, p.Level[id])
+			}
+		}
+	}
+}
+
+// TestEvalAgainstTruth evaluates the scalar and word kernels against an
+// independent truth model on every input combination.
+func TestEvalAgainstTruth(t *testing.T) {
+	c := testCircuit(t)
+	p := MustCompile(c)
+	// Reference: n1=a&b, n2=n1^k, n3=!(a|n2|1)=false, n4=true,
+	// n5=!(n2&n4)=!n2, n6=n5|b, n7=!(n6^n1), n8=n7. POs: n5, n8.
+	truth := func(a, b, k bool) (bool, bool) {
+		n1 := a && b
+		n2 := n1 != k
+		n5 := !n2
+		n6 := n5 || b
+		n7 := !(n6 != n1)
+		return n5, n7
+	}
+	words := make([]uint64, p.NumNodes())
+	for bits := 0; bits < 8; bits++ {
+		a, b, k := bits&1 != 0, bits&2 != 0, bits&4 != 0
+		w5, w8 := truth(a, b, k)
+		out, err := p.Eval([]bool{a, b}, []bool{k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != w5 || out[1] != w8 {
+			t.Fatalf("Eval(a=%v b=%v k=%v) = %v, want [%v %v]", a, b, k, out, w5, w8)
+		}
+		// Word kernel: replicate the scalar pattern across all 64 lanes.
+		for i, id := range p.Inputs {
+			var w uint64
+			if []bool{a, b, k}[i] {
+				w = ^uint64(0)
+			}
+			words[id] = w
+		}
+		p.RunWords(words, 1)
+		for i, want := range []bool{w5, w8} {
+			got := words[p.POs[i]]
+			var exp uint64
+			if want {
+				exp = ^uint64(0)
+			}
+			if got != exp {
+				t.Fatalf("RunWords PO %d on a=%v b=%v k=%v: got %x want %x", i, a, b, k, got, exp)
+			}
+		}
+	}
+}
+
+// TestCompileRejectsCycle checks the cycle diagnostic.
+func TestCompileRejectsCycle(t *testing.T) {
+	c := netlist.New("cyclic")
+	a, _ := c.AddInput("a")
+	g1 := c.MustAddGate(netlist.And, "g1", a, a)
+	g2 := c.MustAddGate(netlist.Or, "g2", g1, a)
+	// Introduce a back edge by hand (builders cannot, by construction).
+	c.Gates[g1].Fanin[1] = g2
+	if _, err := Compile(c); err == nil {
+		t.Fatal("Compile accepted a cyclic circuit")
+	}
+}
+
+// TestTransitiveCones compares the CSR cone walks against the netlist
+// reference implementations.
+func TestTransitiveCones(t *testing.T) {
+	c := testCircuit(t)
+	p := MustCompile(c)
+	for id := 0; id < p.NumNodes(); id++ {
+		wantOut := c.TransitiveFanout(id)
+		gotOut := p.TransitiveFanout(id)
+		wantIn := c.TransitiveFanin(id)
+		gotIn := p.TransitiveFanin(id)
+		for i := range wantOut {
+			if wantOut[i] != gotOut[i] {
+				t.Fatalf("TransitiveFanout(%d) differs at node %d", id, i)
+			}
+			if wantIn[i] != gotIn[i] {
+				t.Fatalf("TransitiveFanin(%d) differs at node %d", id, i)
+			}
+		}
+	}
+}

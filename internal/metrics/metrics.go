@@ -93,8 +93,8 @@ func HammingDistance(locked *netlist.Circuit, correctKey []bool, opts HDOptions)
 	if locked.NumKeys() == 0 {
 		return HDResult{}, fmt.Errorf("metrics: circuit %q has no key inputs", locked.Name)
 	}
-	// The prototype evaluator is built serially, which also warms the
-	// circuit's cached topological order before clones run concurrently.
+	// The prototype evaluator compiles the circuit once; clones share the
+	// immutable program, so worker goroutines need no warm-up.
 	proto, err := sim.NewParallel(locked, opts.BlockWords)
 	if err != nil {
 		return HDResult{}, err

@@ -140,9 +140,6 @@ type Circuit struct {
 	POs []int
 
 	byName map[string]int
-
-	topo   []int // cached topological order, nil when dirty
-	levels []int // cached per-node level, nil when dirty
 }
 
 // New returns an empty circuit with the given name.
@@ -161,11 +158,6 @@ func (c *Circuit) NumKeys() int { return len(c.Keys) }
 
 // NumOutputs returns the number of primary outputs.
 func (c *Circuit) NumOutputs() int { return len(c.POs) }
-
-func (c *Circuit) dirty() {
-	c.topo = nil
-	c.levels = nil
-}
 
 // nameNode registers a name for node id, if non-empty.
 func (c *Circuit) nameNode(id int, name string) error {
@@ -196,7 +188,6 @@ func (c *Circuit) addNode(g Gate, name string) (int, error) {
 		c.NodeNames = c.NodeNames[:id]
 		return 0, err
 	}
-	c.dirty()
 	return id, nil
 }
 

@@ -95,7 +95,6 @@ func TestCycleDetected(t *testing.T) {
 	// Manually create a cycle g1 <-> g2.
 	g2 := c.MustAddGate(Or, "g2", g1, a)
 	c.Gates[g1].Fanin[1] = g2
-	c.dirty()
 	if _, err := c.TopoOrder(); err == nil {
 		t.Fatal("cycle not detected")
 	}
@@ -294,7 +293,6 @@ func BenchmarkTopoOrder(b *testing.B) {
 	c.MarkOutput(prev[0])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.dirty()
 		if _, err := c.TopoOrder(); err != nil {
 			b.Fatal(err)
 		}

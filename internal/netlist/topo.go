@@ -3,13 +3,11 @@ package netlist
 import "fmt"
 
 // TopoOrder returns the node IDs in a topological order (every node appears
-// after all of its fanins). The order is cached until the circuit is
-// modified. An error is returned if the graph contains a combinational
-// cycle.
+// after all of its fanins). The order is recomputed on every call — hot
+// paths should compile the circuit once with ir.Compile and use the
+// program's Order instead. An error is returned if the graph contains a
+// combinational cycle.
 func (c *Circuit) TopoOrder() ([]int, error) {
-	if c.topo != nil {
-		return c.topo, nil
-	}
 	n := len(c.Gates)
 	indeg := make([]int, n)
 	fanout := c.FanoutLists()
@@ -37,7 +35,6 @@ func (c *Circuit) TopoOrder() ([]int, error) {
 	if len(order) != n {
 		return nil, fmt.Errorf("netlist: circuit %q contains a combinational cycle (%d of %d nodes ordered)", c.Name, len(order), n)
 	}
-	c.topo = order
 	return order, nil
 }
 
@@ -77,11 +74,9 @@ func (c *Circuit) FanoutLists() [][]int {
 // Levels returns the logic level of every node: inputs and constants are
 // level 0, every gate is 1 + max(level of fanins). Buffers and inverters
 // count as levels here; LevelsExcludingInverters provides the paper's
-// delay metric.
+// delay metric. Like TopoOrder, the result is recomputed on every call;
+// hot paths should use a compiled ir.Program's Level array.
 func (c *Circuit) Levels() ([]int, error) {
-	if c.levels != nil {
-		return c.levels, nil
-	}
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -101,7 +96,6 @@ func (c *Circuit) Levels() ([]int, error) {
 		}
 		lv[id] = maxIn + 1
 	}
-	c.levels = lv
 	return lv, nil
 }
 

@@ -31,9 +31,11 @@ type Oracle interface {
 
 // Comb is the ideal oracle: direct combinational evaluation of a circuit
 // with the correct key applied. It models unrestricted scan access to an
-// unprotected activated chip.
+// unprotected activated chip. The circuit is compiled once at
+// construction; queries reuse the evaluator's buffer.
 type Comb struct {
 	c       *netlist.Circuit
+	eval    *sim.Evaluator
 	key     []bool
 	queries int
 }
@@ -44,7 +46,11 @@ func NewComb(c *netlist.Circuit, key []bool) (*Comb, error) {
 	if len(key) != c.NumKeys() {
 		return nil, fmt.Errorf("oracle: key width %d != circuit %d", len(key), c.NumKeys())
 	}
-	return &Comb{c: c, key: append([]bool(nil), key...)}, nil
+	ev, err := sim.NewEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Comb{c: c, eval: ev, key: append([]bool(nil), key...)}, nil
 }
 
 // NumInputs implements Oracle.
@@ -56,7 +62,7 @@ func (o *Comb) NumOutputs() int { return o.c.NumOutputs() }
 // Query implements Oracle.
 func (o *Comb) Query(x []bool) ([]bool, error) {
 	o.queries++
-	return sim.Eval(o.c, x, o.key)
+	return o.eval.Eval(x, o.key)
 }
 
 // Queries implements Oracle.

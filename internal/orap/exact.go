@@ -76,11 +76,16 @@ func synthesizeModifiedSequential(core *netlist.Circuit, key []bool, realPIs, re
 	target := gf2.FromBools(key)
 
 	// evalFF computes the next flip-flop state for the current key state.
+	// The core is compiled once here and reused for every unlock cycle.
+	coreEval, err := sim.NewEvaluator(core)
+	if err != nil {
+		return scan.Config{}, err
+	}
 	evalFF := func(ff []bool, state gf2.Vec) ([]bool, error) {
 		in := make([]bool, core.NumInputs())
 		copy(in, pins)
 		copy(in[realPIs:], ff)
-		out, err := sim.Eval(core, in, state.Bools())
+		out, err := coreEval.Eval(in, state.Bools())
 		if err != nil {
 			return nil, err
 		}

@@ -186,6 +186,10 @@ type Chip struct {
 	se       bool    // scan enable level
 	unlocked bool    // whether the unlock sequence has been run since the last key clear
 
+	// core is the reusable evaluator over the compiled combinational
+	// core; every capture clock goes through it.
+	core *sim.Evaluator
+
 	// layout, when attached via SetLayout, enables the cycle-accurate
 	// shift interface (shift.go).
 	layout *Layout
@@ -196,11 +200,16 @@ func New(cfg Config) (*Chip, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	core, err := sim.NewEvaluator(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
 	return &Chip{
 		cfg:    cfg,
 		ff:     make([]bool, cfg.NumFFs()),
 		keyReg: gf2.NewVec(cfg.Core.NumKeys()),
 		shadow: gf2.NewVec(cfg.Core.NumKeys()),
+		core:   core,
 	}, nil
 }
 
@@ -307,7 +316,7 @@ func (ch *Chip) evalCore(pins []bool) ([]bool, error) {
 	in := make([]bool, ch.cfg.Core.NumInputs())
 	copy(in, pins)
 	copy(in[ch.cfg.RealPIs:], ch.ff)
-	return sim.Eval(ch.cfg.Core, in, ch.keyReg.Bools())
+	return ch.core.Eval(in, ch.keyReg.Bools())
 }
 
 // CaptureClock applies one functional clock in normal mode: the core

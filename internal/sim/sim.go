@@ -5,6 +5,11 @@
 // patterns per word. This is the engine behind the Hamming-distance
 // corruptibility measurements of Table I (hundreds of thousands of
 // pseudorandom patterns), the fault simulator, and the attack oracles.
+//
+// All evaluation runs over the compiled circuit IR (internal/ir): an
+// evaluator compiles its circuit once at construction and then walks
+// flat opcode/fanin arrays, and clones share the immutable program, so
+// any number of evaluators may run concurrently with no warm-up.
 package sim
 
 import (
@@ -12,6 +17,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/rng"
 )
@@ -40,39 +46,47 @@ func grabVals(n int) []uint64 {
 // Parallel is a reusable bit-parallel evaluator for a fixed circuit and a
 // fixed number of 64-pattern words.
 type Parallel struct {
-	c     *netlist.Circuit
-	order []int
+	prog  *ir.Program
 	words int
 	vals  []uint64 // node-major: vals[id*words : (id+1)*words]
 }
 
-// NewParallel builds an evaluator for c carrying words×64 patterns.
+// NewParallel compiles c and builds an evaluator carrying words×64
+// patterns.
 func NewParallel(c *netlist.Circuit, words int) (*Parallel, error) {
-	if words <= 0 {
-		return nil, fmt.Errorf("sim: words must be positive, got %d", words)
-	}
-	order, err := c.TopoOrder()
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
+	return ForProgram(prog, words)
+}
+
+// ForProgram builds an evaluator over an already-compiled program,
+// sharing it read-only with any other consumer.
+func ForProgram(prog *ir.Program, words int) (*Parallel, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("sim: words must be positive, got %d", words)
+	}
 	return &Parallel{
-		c:     c,
-		order: order,
+		prog:  prog,
 		words: words,
-		vals:  grabVals(len(c.Gates) * words),
+		vals:  grabVals(prog.NumNodes() * words),
 	}, nil
 }
 
+// Program returns the compiled program the evaluator runs; it is
+// immutable and may be shared with other evaluators and backends.
+func (p *Parallel) Program() *ir.Program { return p.prog }
+
 // Clone returns an independent evaluator for the same circuit and word
-// count. The (immutable) topological order is shared; only the value
+// count. The immutable compiled program is shared; only the value
 // buffer is private, so clones are cheap and safe to run concurrently.
 // Pair with Release when the clone is short-lived.
 func (p *Parallel) Clone() *Parallel {
 	return &Parallel{
-		c:     p.c,
-		order: p.order,
+		prog:  p.prog,
 		words: p.words,
-		vals:  grabVals(len(p.c.Gates) * p.words),
+		vals:  grabVals(p.prog.NumNodes() * p.words),
 	}
 }
 
@@ -118,198 +132,101 @@ func (p *Parallel) SetInputConst(id int, v bool) {
 // Run evaluates every gate in topological order. Input node values must
 // have been set beforehand; values of non-input nodes are overwritten.
 func (p *Parallel) Run() {
-	W := p.words
-	for _, id := range p.order {
-		g := &p.c.Gates[id]
-		dst := p.vals[id*W : (id+1)*W]
-		switch g.Type {
-		case netlist.Input:
-			// Values were provided by the caller.
-		case netlist.Const0:
-			for i := range dst {
-				dst[i] = 0
-			}
-		case netlist.Const1:
-			for i := range dst {
-				dst[i] = ^uint64(0)
-			}
-		case netlist.Buf:
-			src := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
-			copy(dst, src)
-		case netlist.Not:
-			src := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
-			for i := range dst {
-				dst[i] = ^src[i]
-			}
-		case netlist.And, netlist.Nand:
-			first := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
-			copy(dst, first)
-			for _, f := range g.Fanin[1:] {
-				src := p.vals[f*W : f*W+W]
-				for i := range dst {
-					dst[i] &= src[i]
-				}
-			}
-			if g.Type == netlist.Nand {
-				for i := range dst {
-					dst[i] = ^dst[i]
-				}
-			}
-		case netlist.Or, netlist.Nor:
-			first := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
-			copy(dst, first)
-			for _, f := range g.Fanin[1:] {
-				src := p.vals[f*W : f*W+W]
-				for i := range dst {
-					dst[i] |= src[i]
-				}
-			}
-			if g.Type == netlist.Nor {
-				for i := range dst {
-					dst[i] = ^dst[i]
-				}
-			}
-		case netlist.Xor, netlist.Xnor:
-			first := p.vals[g.Fanin[0]*W : g.Fanin[0]*W+W]
-			copy(dst, first)
-			for _, f := range g.Fanin[1:] {
-				src := p.vals[f*W : f*W+W]
-				for i := range dst {
-					dst[i] ^= src[i]
-				}
-			}
-			if g.Type == netlist.Xnor {
-				for i := range dst {
-					dst[i] = ^dst[i]
-				}
-			}
-		}
-	}
+	p.prog.RunWords(p.vals, p.words)
 }
 
 // RandomizeInputs fills every primary input with pseudo-random patterns
 // from r, leaving key inputs untouched.
 func (p *Parallel) RandomizeInputs(r *rng.Stream) {
-	for _, id := range p.c.PIs {
-		r.Words(p.Value(id))
+	for _, id := range p.prog.PIs {
+		r.Words(p.Value(int(id)))
 	}
 }
 
 // SetKey applies the given key bits to the circuit's key inputs, each bit
 // replicated across all patterns. len(key) must equal the key width.
 func (p *Parallel) SetKey(key []bool) error {
-	if len(key) != len(p.c.Keys) {
-		return fmt.Errorf("sim: key width %d does not match circuit key width %d", len(key), len(p.c.Keys))
+	if len(key) != p.prog.NumKeys() {
+		return fmt.Errorf("sim: key width %d does not match circuit key width %d", len(key), p.prog.NumKeys())
 	}
-	for i, id := range p.c.Keys {
-		p.SetInputConst(id, key[i])
+	for i, id := range p.prog.Keys {
+		p.SetInputConst(int(id), key[i])
 	}
 	return nil
 }
 
-// Eval evaluates the circuit on a single pattern given as primary-input and
-// key bit slices, returning the primary output bits in declaration order.
-func Eval(c *netlist.Circuit, pi, key []bool) ([]bool, error) {
-	if len(pi) != c.NumInputs() {
-		return nil, fmt.Errorf("sim: got %d primary input bits, circuit has %d", len(pi), c.NumInputs())
-	}
-	if len(key) != c.NumKeys() {
-		return nil, fmt.Errorf("sim: got %d key bits, circuit has %d", len(key), c.NumKeys())
-	}
-	order, err := c.TopoOrder()
+// Evaluator is a reusable single-pattern evaluator over a compiled
+// program. It amortizes the per-node value buffer across calls, so
+// oracles and attack loops that evaluate the same circuit thousands of
+// times pay the compile cost once and no allocation per query beyond
+// the returned output slice. Not safe for concurrent use; clone per
+// goroutine (or call ir.Program.Eval, which is).
+type Evaluator struct {
+	prog *ir.Program
+	vals []bool
+}
+
+// NewEvaluator compiles c and returns a reusable single-pattern
+// evaluator.
+func NewEvaluator(c *netlist.Circuit) (*Evaluator, error) {
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	vals := make([]bool, len(c.Gates))
-	for i, id := range c.PIs {
-		vals[id] = pi[i]
+	return EvaluatorFor(prog), nil
+}
+
+// EvaluatorFor returns a reusable single-pattern evaluator over an
+// already-compiled program.
+func EvaluatorFor(prog *ir.Program) *Evaluator {
+	return &Evaluator{prog: prog, vals: make([]bool, prog.NumNodes())}
+}
+
+// Program returns the evaluator's compiled program.
+func (e *Evaluator) Program() *ir.Program { return e.prog }
+
+// Eval evaluates one pattern and returns a fresh primary-output slice in
+// declaration order.
+func (e *Evaluator) Eval(pi, key []bool) ([]bool, error) {
+	if len(pi) != e.prog.NumInputs() {
+		return nil, fmt.Errorf("sim: got %d primary input bits, circuit has %d", len(pi), e.prog.NumInputs())
 	}
-	for i, id := range c.Keys {
-		vals[id] = key[i]
+	if len(key) != e.prog.NumKeys() {
+		return nil, fmt.Errorf("sim: got %d key bits, circuit has %d", len(key), e.prog.NumKeys())
 	}
-	for _, id := range order {
-		g := &c.Gates[id]
-		switch g.Type {
-		case netlist.Input:
-		case netlist.Const0:
-			vals[id] = false
-		case netlist.Const1:
-			vals[id] = true
-		case netlist.Buf:
-			vals[id] = vals[g.Fanin[0]]
-		case netlist.Not:
-			vals[id] = !vals[g.Fanin[0]]
-		case netlist.And, netlist.Nand:
-			v := true
-			for _, f := range g.Fanin {
-				v = v && vals[f]
-			}
-			vals[id] = v != (g.Type == netlist.Nand)
-		case netlist.Or, netlist.Nor:
-			v := false
-			for _, f := range g.Fanin {
-				v = v || vals[f]
-			}
-			vals[id] = v != (g.Type == netlist.Nor)
-		case netlist.Xor, netlist.Xnor:
-			v := false
-			for _, f := range g.Fanin {
-				v = v != vals[f]
-			}
-			vals[id] = v != (g.Type == netlist.Xnor)
-		}
-	}
-	out := make([]bool, len(c.POs))
-	for i, id := range c.POs {
-		out[i] = vals[id]
+	e.prog.EvalInto(e.vals, pi, key)
+	out := make([]bool, e.prog.NumOutputs())
+	for i, id := range e.prog.POs {
+		out[i] = e.vals[id]
 	}
 	return out, nil
+}
+
+// Eval evaluates the circuit on a single pattern given as primary-input and
+// key bit slices, returning the primary output bits in declaration order.
+// It compiles the circuit per call; loops should hold an Evaluator (or a
+// compiled ir.Program) instead.
+func Eval(c *netlist.Circuit, pi, key []bool) ([]bool, error) {
+	prog, err := ir.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Eval(pi, key)
 }
 
 // EvalAll evaluates a single pattern and returns the value of every node.
 // It is used by attacks that need internal visibility (e.g. sensitization)
 // and by tests.
 func EvalAll(c *netlist.Circuit, assign []bool) ([]bool, error) {
-	order, err := c.TopoOrder()
+	prog, err := ir.Compile(c)
 	if err != nil {
 		return nil, err
 	}
-	if len(assign) != len(c.Gates) {
-		return nil, fmt.Errorf("sim: EvalAll needs one seed value per node (%d), got %d", len(c.Gates), len(assign))
+	if len(assign) != prog.NumNodes() {
+		return nil, fmt.Errorf("sim: EvalAll needs one seed value per node (%d), got %d", prog.NumNodes(), len(assign))
 	}
 	vals := append([]bool(nil), assign...)
-	for _, id := range order {
-		g := &c.Gates[id]
-		switch g.Type {
-		case netlist.Input:
-		case netlist.Const0:
-			vals[id] = false
-		case netlist.Const1:
-			vals[id] = true
-		case netlist.Buf:
-			vals[id] = vals[g.Fanin[0]]
-		case netlist.Not:
-			vals[id] = !vals[g.Fanin[0]]
-		case netlist.And, netlist.Nand:
-			v := true
-			for _, f := range g.Fanin {
-				v = v && vals[f]
-			}
-			vals[id] = v != (g.Type == netlist.Nand)
-		case netlist.Or, netlist.Nor:
-			v := false
-			for _, f := range g.Fanin {
-				v = v || vals[f]
-			}
-			vals[id] = v != (g.Type == netlist.Nor)
-		case netlist.Xor, netlist.Xnor:
-			v := false
-			for _, f := range g.Fanin {
-				v = v != vals[f]
-			}
-			vals[id] = v != (g.Type == netlist.Xnor)
-		}
-	}
+	prog.RunBools(vals)
 	return vals, nil
 }
 
