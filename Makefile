@@ -2,16 +2,21 @@
 
 GO ?= go
 
-# Packages that gained goroutines in the worker-pool work: every PR runs
-# them under the race detector.
-RACE_PKGS := ./internal/par ./internal/rng ./internal/ir ./internal/sim ./internal/metrics ./internal/faultsim ./internal/exp
-
-.PHONY: all vet build test race bench bench-parallel ci
+.PHONY: all vet orapvet fmt build test race bench bench-parallel ci
 
 all: vet build test
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own invariants (no math/rand or wall-clock reads in
+# internal/, Clone/Release pairing, ir.Program immutability, race-leg
+# test hygiene); see cmd/orapvet and DESIGN.md "Static analysis".
+orapvet:
+	$(GO) run ./cmd/orapvet
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -19,10 +24,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Short race leg: -short skips the 2e6-draw RNG disjointness scan, which
-# is slow under the race runtime and single-goroutine anyway.
+# Whole-repo race leg. -short skips the 2e6-draw RNG disjointness scan,
+# which is slow under the race runtime and single-goroutine anyway; the
+# orapvet shortrace rule guarantees no goroutine-spawning test hides
+# behind the same gate.
 race:
-	$(GO) test -race -short $(RACE_PKGS)
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -33,4 +40,4 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'Serial|Parallel' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'CloneRelease|NewParallelNoPool' -benchmem ./internal/sim
 
-ci: vet build test race
+ci: vet fmt orapvet build test race

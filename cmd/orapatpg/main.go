@@ -12,12 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"orap/internal/atpg"
-	"orap/internal/bench"
 	"orap/internal/benchgen"
+	"orap/internal/check"
 	"orap/internal/faultsim"
 	"orap/internal/netlist"
 	"orap/internal/rng"
@@ -32,22 +33,32 @@ func main() {
 		budget       = flag.Int64("conflicts", 0, "SAT conflict budget per fault (0 = high effort)")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "fault-simulation worker pool size (0 = all cores, 1 = serial); results are identical at any setting")
+		wall         = flag.Bool("Wall", false, "print warning- and info-level netlist diagnostics")
 	)
 	flag.Parse()
 
+	var warn io.Writer
+	if *wall {
+		warn = os.Stderr
+	}
 	var circuit *netlist.Circuit
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
-		fatal(err)
-		circuit, err = bench.Parse(f, *in)
-		f.Close()
+		var err error
+		circuit, err = check.LoadFile(*in, warn)
 		fatal(err)
 	case *gen != "":
 		prof, err := benchgen.ProfileByName(*gen)
 		fatal(err)
 		circuit, err = benchgen.Generate(prof.Scale(*scale), *seed)
 		fatal(err)
+		// Generated circuits are structurally sound by construction, but
+		// the hygiene rules still apply to them.
+		rep := check.Circuit(circuit)
+		if warn != nil {
+			fmt.Fprint(os.Stderr, rep.String())
+		}
+		fatal(rep.Err())
 	default:
 		fmt.Fprintln(os.Stderr, "orapatpg: pass -in or -gen")
 		flag.Usage()

@@ -17,11 +17,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"orap/internal/attack"
-	"orap/internal/bench"
+	"orap/internal/check"
 	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
@@ -39,6 +40,7 @@ func main() {
 		key        = flag.String("key", "", "correct key as a 0/1 string (required for -oracle scan)")
 		maxIter    = flag.Int("maxiter", 4096, "attack iteration budget")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		wall       = flag.Bool("Wall", false, "print warning- and info-level netlist diagnostics")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *origPath == "" {
@@ -46,8 +48,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	locked := parse(*lockedPath)
-	orig := parse(*origPath)
+	var warn io.Writer
+	if *wall {
+		warn = os.Stderr
+	}
+	locked := parse(*lockedPath, warn)
+	orig := parse(*origPath, warn)
 	if orig.NumKeys() != 0 {
 		fatal(fmt.Errorf("original netlist %q has key inputs; pass the unlocked design", *origPath))
 	}
@@ -150,11 +156,8 @@ func main() {
 	}
 }
 
-func parse(path string) *netlist.Circuit {
-	f, err := os.Open(path)
-	fatal(err)
-	defer f.Close()
-	c, err := bench.Parse(f, path)
+func parse(path string, warn io.Writer) *netlist.Circuit {
+	c, err := check.LoadFile(path, warn)
 	fatal(err)
 	return c
 }

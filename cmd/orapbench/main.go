@@ -26,17 +26,20 @@ import (
 	"strings"
 	"time"
 
+	"orap/internal/benchgen"
+	"orap/internal/check"
 	"orap/internal/exp"
 )
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which table to regenerate: 1, 2, attacks, trojan, scaling, xortree, ctrl, keysize, others, all")
-		scale    = flag.Float64("scale", 0.05, "benchmark circuit scale factor (1 = paper scale)")
-		seed     = flag.Uint64("seed", 2020, "experiment seed")
-		patterns = flag.Int("patterns", 0, "HD pattern count (0 = default, a few hundred thousand)")
-		circuits = flag.String("circuits", "", "comma-separated benchmark subset (default: all eight)")
-		workers  = flag.Int("workers", 0, "worker pool size for the simulation hot paths (0 = all cores, 1 = serial); tables are identical at any setting")
+		table     = flag.String("table", "all", "which table to regenerate: 1, 2, attacks, trojan, scaling, xortree, ctrl, keysize, others, all")
+		scale     = flag.Float64("scale", 0.05, "benchmark circuit scale factor (1 = paper scale)")
+		seed      = flag.Uint64("seed", 2020, "experiment seed")
+		patterns  = flag.Int("patterns", 0, "HD pattern count (0 = default, a few hundred thousand)")
+		circuits  = flag.String("circuits", "", "comma-separated benchmark subset (default: all eight)")
+		workers   = flag.Int("workers", 0, "worker pool size for the simulation hot paths (0 = all cores, 1 = serial); tables are identical at any setting")
+		preflight = flag.Bool("check", false, "structurally check the generated benchmark suite at this -scale/-seed and exit")
 	)
 	flag.Parse()
 	scaleExplicit := false
@@ -56,6 +59,41 @@ func main() {
 	var subset []string
 	if *circuits != "" {
 		subset = strings.Split(*circuits, ",")
+	}
+
+	if *preflight {
+		// Generate every benchmark the tables would use and run the full
+		// diagnostic rule set; error-severity findings fail the run.
+		names := subset
+		if names == nil {
+			for _, p := range benchgen.Profiles {
+				names = append(names, p.Name)
+			}
+		}
+		failed := false
+		for _, name := range names {
+			prof, err := benchgen.ProfileByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orapbench: %v\n", err)
+				os.Exit(1)
+			}
+			c, err := benchgen.Generate(prof.Scale(*scale), *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orapbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			rep := check.Circuit(c)
+			fmt.Print(rep.String())
+			if rep.HasErrors() {
+				failed = true
+			}
+			fmt.Printf("%-8s %d diagnostics, %d errors\n",
+				name, len(rep.Diags), len(rep.Errors()))
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {

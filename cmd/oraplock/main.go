@@ -15,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"orap/internal/bench"
+	"orap/internal/check"
 	"orap/internal/lock"
 	"orap/internal/orap"
 	"orap/internal/rng"
@@ -35,6 +37,7 @@ func main() {
 		pins    = flag.Int("pins", -1, "number of leading inputs that are package pins; the rest feed from flip-flops (-1 = all inputs are pins)")
 		pinOuts = flag.Int("pinouts", -1, "number of leading outputs that are package pins (-1 = all outputs are pins)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		wall    = flag.Bool("Wall", false, "print warning- and info-level netlist diagnostics")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -42,10 +45,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
-	fatal(err)
-	circuit, err := bench.Parse(f, *in)
-	f.Close()
+	var warn io.Writer
+	if *wall {
+		warn = os.Stderr
+	}
+	circuit, err := check.LoadFile(*in, warn)
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "parsed %s\n", circuit.Summary())
 

@@ -18,9 +18,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"orap/internal/bench"
+	"orap/internal/check"
 	"orap/internal/ir"
 	"orap/internal/netlist"
 	"orap/internal/oracle"
@@ -49,6 +50,7 @@ func main() {
 		pinOuts    = flag.Int("pinouts", -1, "package-pin outputs (-1 = all)")
 		seed       = flag.Uint64("seed", 1, "random seed for the scheme synthesis")
 		workers    = flag.Int("workers", 0, "worker pool size for reference-response simulation (0 = all cores)")
+		wall       = flag.Bool("Wall", false, "print warning- and info-level netlist diagnostics")
 	)
 	flag.Var(&queries, "query", "input pattern to scan in (repeatable); random patterns are used when none given")
 	flag.Parse()
@@ -57,10 +59,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*lockedPath)
-	fatal(err)
-	locked, err := bench.Parse(f, *lockedPath)
-	f.Close()
+	var warn io.Writer
+	if *wall {
+		warn = os.Stderr
+	}
+	locked, err := check.LoadFile(*lockedPath, warn)
 	fatal(err)
 	if len(*key) != locked.NumKeys() {
 		fatal(fmt.Errorf("key must have %d bits, got %d", locked.NumKeys(), len(*key)))

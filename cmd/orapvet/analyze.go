@@ -1,0 +1,388 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The repo-invariant rules. Each has a stable ID used in findings and in
+// the per-rule unit tests; DESIGN.md documents the rationale.
+const (
+	// RuleNoRand: internal/ packages must use internal/rng, never
+	// math/rand, so every simulation result is reproducible from a seed.
+	RuleNoRand = "norand"
+	// RuleNoWallTime: internal/ packages must not read the wall clock
+	// (time.Now, time.Since); timing belongs to the cmd/ layer.
+	RuleNoWallTime = "nowalltime"
+	// RuleCloneRelease: a function that calls sim.Parallel.Clone must
+	// call Release in the same function (including nested closures), or
+	// the pooled value buffers leak.
+	RuleCloneRelease = "clonerelease"
+	// RuleIRMutate: ir.Program is immutable after Compile; no package
+	// outside internal/ir may write its fields or their elements.
+	RuleIRMutate = "irmutate"
+	// RuleShortRace: a test that spawns goroutines must not gate itself
+	// on testing.Short, because the -race CI leg runs with -short and
+	// would silently skip exactly the tests the race detector is for.
+	RuleShortRace = "shortrace"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// vetter parses and typechecks the module's packages on demand. Module
+// packages are resolved from the source tree; standard-library imports
+// are delegated to the go/importer source importer. Test files are
+// parsed but never typechecked (external _test packages would need the
+// full go test harness); the only test-file rule is syntactic.
+type vetter struct {
+	fset     *token.FileSet
+	modRoot  string
+	modPath  string
+	stdlib   types.Importer
+	pkgs     map[string]*vetPkg
+	findings []Finding
+}
+
+type vetPkg struct {
+	path      string
+	files     []*ast.File
+	testFiles []*ast.File
+	pkg       *types.Package
+	info      *types.Info
+	err       error
+}
+
+// analyze runs every rule over the module's ./internal/... and ./cmd/...
+// packages and returns the sorted findings. The error reports the first
+// parse or typecheck failure; rules still run over the packages that
+// loaded.
+func analyze(modRoot, modPath string) ([]Finding, error) {
+	v := &vetter{
+		fset:    token.NewFileSet(),
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    map[string]*vetPkg{},
+	}
+	v.stdlib = importer.ForCompiler(v.fset, "source", nil)
+
+	var paths []string
+	for _, sub := range []string{"internal", "cmd"} {
+		paths = append(paths, v.packagesUnder(sub)...)
+	}
+	var firstErr error
+	for _, path := range paths {
+		p, err := v.load(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		v.vetPackage(p)
+	}
+	sort.Slice(v.findings, func(i, j int) bool {
+		a, b := v.findings[i], v.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return v.findings, firstErr
+}
+
+// packagesUnder lists the import paths of the Go packages below a module
+// subdirectory, skipping testdata trees.
+func (v *vetter) packagesUnder(sub string) []string {
+	seen := map[string]bool{}
+	var paths []string
+	root := filepath.Join(v.modRoot, sub)
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(v.modRoot, filepath.Dir(path))
+		if err != nil {
+			return nil
+		}
+		ip := v.modPath + "/" + filepath.ToSlash(rel)
+		if !seen[ip] {
+			seen[ip] = true
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	sort.Strings(paths)
+	return paths
+}
+
+// Import resolves an import path for the typechecker: module-local
+// packages load from the source tree, everything else from the standard
+// library.
+func (v *vetter) Import(path string) (*types.Package, error) {
+	if path == v.modPath || strings.HasPrefix(path, v.modPath+"/") {
+		p, err := v.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return v.stdlib.Import(path)
+}
+
+// load parses and typechecks one module package, memoized.
+func (v *vetter) load(path string) (*vetPkg, error) {
+	if p, ok := v.pkgs[path]; ok {
+		return p, p.err
+	}
+	p := &vetPkg{path: path}
+	v.pkgs[path] = p
+	dir := filepath.Join(v.modRoot, filepath.FromSlash(strings.TrimPrefix(path, v.modPath+"/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = fmt.Errorf("orapvet: %s: %w", path, err)
+		return p, p.err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(v.fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			p.err = err
+			return p, p.err
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			p.testFiles = append(p.testFiles, file)
+		} else {
+			p.files = append(p.files, file)
+		}
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("orapvet: %s: no Go files", path)
+		return p, p.err
+	}
+	p.info = &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: v}
+	p.pkg, err = conf.Check(path, v.fset, p.files, p.info)
+	if err != nil {
+		p.err = err
+		return p, p.err
+	}
+	return p, nil
+}
+
+func (v *vetter) report(pos token.Pos, rule, format string, args ...interface{}) {
+	v.findings = append(v.findings, Finding{
+		Pos:  v.fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *vetter) vetPackage(p *vetPkg) {
+	inInternal := strings.Contains(p.path+"/", "/internal/")
+	for _, f := range p.files {
+		if inInternal {
+			v.ruleNoRand(f)
+			v.ruleNoWallTime(p, f)
+		}
+		v.ruleCloneRelease(p, f)
+		v.ruleIRMutate(p, f)
+	}
+	for _, f := range p.testFiles {
+		v.ruleShortRace(f)
+	}
+}
+
+// ruleNoRand flags math/rand imports in internal packages.
+func (v *vetter) ruleNoRand(f *ast.File) {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			v.report(imp.Pos(), RuleNoRand,
+				"import of %s in internal/; use internal/rng so results are reproducible from a seed", path)
+		}
+	}
+}
+
+// ruleNoWallTime flags wall-clock reads in internal packages, resolved
+// through the typechecker so aliased imports are still caught.
+func (v *vetter) ruleNoWallTime(p *vetPkg, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := p.info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if full := fn.FullName(); full == "time.Now" || full == "time.Since" {
+			v.report(id.Pos(), RuleNoWallTime,
+				"%s in internal/; wall-clock reads belong in the cmd/ layer", full)
+		}
+		return true
+	})
+}
+
+// ruleCloneRelease flags any top-level function that calls
+// sim.Parallel.Clone without also calling Release somewhere in the same
+// function (nested closures included).
+func (v *vetter) ruleCloneRelease(p *vetPkg, f *ast.File) {
+	simPath := v.modPath + "/internal/sim"
+	if p.path == simPath {
+		return // the methods' own package
+	}
+	cloneName := "(*" + simPath + ".Parallel).Clone"
+	releaseName := "(*" + simPath + ".Parallel).Release"
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		clonePos := token.NoPos
+		released := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch fn.FullName() {
+			case cloneName:
+				if clonePos == token.NoPos {
+					clonePos = call.Pos()
+				}
+			case releaseName:
+				released = true
+			}
+			return true
+		})
+		if clonePos != token.NoPos && !released {
+			v.report(clonePos, RuleCloneRelease,
+				"%s calls sim.Parallel.Clone without a Release in the same function; the pooled buffers leak", fd.Name.Name)
+		}
+	}
+}
+
+// ruleIRMutate flags writes to ir.Program fields (or elements of slice
+// fields) from outside internal/ir.
+func (v *vetter) ruleIRMutate(p *vetPkg, f *ast.File) {
+	irPath := v.modPath + "/internal/ir"
+	if p.path == irPath {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if name, ok := v.programField(p, irPath, lhs); ok {
+					v.report(lhs.Pos(), RuleIRMutate,
+						"write to ir.Program field %s outside internal/ir; Programs are immutable after Compile", name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := v.programField(p, irPath, st.X); ok {
+				v.report(st.X.Pos(), RuleIRMutate,
+					"write to ir.Program field %s outside internal/ir; Programs are immutable after Compile", name)
+			}
+		}
+		return true
+	})
+}
+
+// programField reports whether an assignable expression resolves to a
+// field of ir.Program, looking through index expressions so writes like
+// prog.Ops[i] = x are caught too.
+func (v *vetter) programField(p *vetPkg, irPath string, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		sel := p.info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		recv := sel.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		if named.Obj().Pkg().Path() == irPath && named.Obj().Name() == "Program" {
+			return e.Sel.Name, true
+		}
+	case *ast.IndexExpr:
+		return v.programField(p, irPath, e.X)
+	case *ast.ParenExpr:
+		return v.programField(p, irPath, e.X)
+	case *ast.StarExpr:
+		return v.programField(p, irPath, e.X)
+	}
+	return "", false
+}
+
+// ruleShortRace flags test functions that both spawn goroutines and gate
+// on testing.Short: the CI race leg runs `go test -race -short`, so such
+// a test exempts itself from the race detector.
+func (v *vetter) ruleShortRace(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Test") {
+			continue
+		}
+		spawns, short := false, false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				spawns = true
+			case *ast.SelectorExpr:
+				if id, ok := x.X.(*ast.Ident); ok && id.Name == "testing" && x.Sel.Name == "Short" {
+					short = true
+				}
+			}
+			return true
+		})
+		if spawns && short {
+			v.report(fd.Pos(), RuleShortRace,
+				"%s spawns goroutines but gates on testing.Short; the -race -short CI leg would skip it", fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureFindings runs the analyzer over the seeded fixture module once
+// per test binary.
+var fixtureFindings []Finding
+
+func fixture(t *testing.T) []Finding {
+	t.Helper()
+	if fixtureFindings != nil {
+		return fixtureFindings
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analyze(root, "vetfixture")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	fixtureFindings = findings
+	return findings
+}
+
+// one returns the single finding for rule whose message mentions ident,
+// failing the test otherwise.
+func one(t *testing.T, rule, ident string) Finding {
+	t.Helper()
+	var hits []Finding
+	for _, f := range fixture(t) {
+		if f.Rule == rule && strings.Contains(f.Msg, ident) {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("rule %s mentioning %q: %d findings, want 1\nall: %v", rule, ident, len(hits), fixture(t))
+	}
+	return hits[0]
+}
+
+func TestFixtureFindingCount(t *testing.T) {
+	fs := fixture(t)
+	if len(fs) != 7 {
+		for _, f := range fs {
+			t.Log(f)
+		}
+		t.Fatalf("fixture produced %d findings, want 7", len(fs))
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Pos.Filename, filepath.Join("internal", "bad")) {
+			t.Errorf("finding outside internal/bad: %v", f)
+		}
+	}
+}
+
+func TestNoRandRule(t *testing.T) {
+	f := one(t, RuleNoRand, "math/rand")
+	if !strings.HasSuffix(f.Pos.Filename, "bad.go") || f.Pos.Line != 6 {
+		t.Errorf("norand at %s:%d, want bad.go:6", f.Pos.Filename, f.Pos.Line)
+	}
+}
+
+func TestNoWallTimeRule(t *testing.T) {
+	now := one(t, RuleNoWallTime, "time.Now")
+	since := one(t, RuleNoWallTime, "time.Since")
+	if now.Pos.Line != 15 || since.Pos.Line != 17 {
+		t.Errorf("nowalltime at lines %d/%d, want 15/17", now.Pos.Line, since.Pos.Line)
+	}
+}
+
+func TestCloneReleaseRule(t *testing.T) {
+	f := one(t, RuleCloneRelease, "LeakClone")
+	if f.Pos.Line != 20 {
+		t.Errorf("clonerelease at line %d, want 20", f.Pos.Line)
+	}
+}
+
+func TestIRMutateRule(t *testing.T) {
+	name := one(t, RuleIRMutate, "field Name")
+	ops := one(t, RuleIRMutate, "field Ops")
+	if name.Pos.Line != 24 || ops.Pos.Line != 28 {
+		t.Errorf("irmutate at lines %d/%d, want 24/28", name.Pos.Line, ops.Pos.Line)
+	}
+}
+
+func TestShortRaceRule(t *testing.T) {
+	f := one(t, RuleShortRace, "TestSpawnSkipsShort")
+	if !strings.HasSuffix(f.Pos.Filename, "bad_test.go") {
+		t.Errorf("shortrace in %s, want bad_test.go", f.Pos.Filename)
+	}
+}
+
+// TestRepoIsClean runs the analyzer over this repository itself — the
+// same check `make orapvet` enforces in CI.
+func TestRepoIsClean(t *testing.T) {
+	root, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analyze(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	root, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "orap" {
+		t.Errorf("module path = %q, want orap", modPath)
+	}
+	if _, _, err := findModule(filepath.Join(root, "internal", "sim")); err != nil {
+		t.Errorf("findModule from a subdirectory: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+// Command orapvet enforces this repository's cross-package invariants —
+// the properties the compiler cannot check but the experiments depend
+// on. It typechecks ./internal/... and ./cmd/... with go/types and
+// applies five rules:
+//
+//	norand        no math/rand in internal/ (use internal/rng)
+//	nowalltime    no time.Now / time.Since in internal/
+//	clonerelease  sim.Parallel.Clone paired with Release per function
+//	irmutate      no ir.Program field writes outside internal/ir
+//	shortrace     goroutine-spawning tests must not skip under -short
+//
+// Usage:
+//
+//	orapvet [-C dir]
+//
+// Findings print one per line as file:line: [rule] message; the exit
+// status is 1 when there are any. Run from anywhere inside the module
+// (the go.mod is located by walking up), or point -C at the module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to vet")
+	flag.Parse()
+
+	root, modPath, err := findModule(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orapvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analyze(root, modPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orapvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		// Relative paths keep the output stable across checkouts.
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("orapvet: %s clean\n", modPath)
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

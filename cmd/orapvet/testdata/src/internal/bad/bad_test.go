@@ -1,0 +1,12 @@
+package bad
+
+import "testing"
+
+func TestSpawnSkipsShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in short mode")
+	}
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,33 @@
+// Package good exercises the idioms each rule must accept: cloning
+// inside a closure with the release in the same enclosing function,
+// reading (not writing) a Program, and time.Duration values without
+// wall-clock reads.
+package good
+
+import (
+	"time"
+
+	"vetfixture/internal/ir"
+	"vetfixture/internal/sim"
+)
+
+func UseClone(p *sim.Parallel) {
+	done := make(chan struct{})
+	go func() {
+		c := p.Clone()
+		defer c.Release()
+		c.Run()
+		close(done)
+	}()
+	<-done
+}
+
+func ReadProgram(p *ir.Program) int { return p.NumNodes() }
+
+func NotAProgram() string {
+	var prog struct{ Name string }
+	prog.Name = "fine"
+	return prog.Name
+}
+
+func Budget(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,17 @@
+package good
+
+import "testing"
+
+// Spawns goroutines without a -short gate: the race leg runs it.
+func TestSpawn(t *testing.T) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// Gates on -short without spawning goroutines: fine too.
+func TestShortOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running case")
+	}
+}

@@ -1,0 +1,13 @@
+// Package ir mirrors the shape of orap/internal/ir that the irmutate
+// rule keys on: an immutable compiled Program.
+package ir
+
+type Program struct {
+	Name string
+	Ops  []uint8
+}
+
+func (p *Program) NumNodes() int { return len(p.Ops) }
+
+// Rebrand is a legal write: it lives inside the ir package.
+func (p *Program) Rebrand(name string) { p.Name = name }

@@ -1,0 +1,14 @@
+// Package sim mirrors the shape of orap/internal/sim that the
+// clonerelease rule keys on: a Parallel simulator with pooled buffers,
+// cloned per worker and released when done.
+package sim
+
+type Parallel struct {
+	vals []uint64
+}
+
+func (p *Parallel) Clone() *Parallel { return &Parallel{vals: p.vals} }
+
+func (p *Parallel) Release() { p.vals = nil }
+
+func (p *Parallel) Run() {}

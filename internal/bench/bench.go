@@ -40,19 +40,28 @@ type rawGate struct {
 	line  int
 }
 
+// rawSignal is a declared INPUT or OUTPUT name with its source line.
+type rawSignal struct {
+	name string
+	line int
+}
+
 // Parse reads a .bench description and builds the combinational circuit.
+// Failures are reported as *ParseError with the source line, offending
+// token and a machine-readable code. Each node of the returned circuit
+// records the .bench line it was defined on (netlist.Circuit.SrcLine).
 func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 
 	var (
-		inputs   []string
-		outputs  []string
+		inputs   []rawSignal
+		outputs  []rawSignal
 		gates    []rawGate
-		dffIn    []string // D pins: become pseudo outputs
-		dffOut   []string // Q pins: become pseudo inputs
+		dffIn    []rawSignal // D pins: become pseudo outputs
+		dffOut   []rawSignal // Q pins: become pseudo inputs
 		lineno   int
-		declared = make(map[string]bool)
+		declared = make(map[string]int) // gate LHS name -> defining line
 	)
 
 	for sc.Scan() {
@@ -63,58 +72,68 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 		}
 		switch {
 		case matchDirective(line, "INPUT"):
-			arg, err := directiveArg(line, "INPUT", lineno)
+			arg, err := directiveArg(name, line, "INPUT", lineno)
 			if err != nil {
 				return nil, err
 			}
-			inputs = append(inputs, arg)
+			inputs = append(inputs, rawSignal{arg, lineno})
 		case matchDirective(line, "OUTPUT"):
-			arg, err := directiveArg(line, "OUTPUT", lineno)
+			arg, err := directiveArg(name, line, "OUTPUT", lineno)
 			if err != nil {
 				return nil, err
 			}
-			outputs = append(outputs, arg)
+			outputs = append(outputs, rawSignal{arg, lineno})
 		default:
-			g, err := parseAssignment(line, lineno)
+			g, err := parseAssignment(name, line, lineno)
 			if err != nil {
 				return nil, err
 			}
 			if g.op == "DFF" {
 				if len(g.fanin) != 1 {
-					return nil, fmt.Errorf("bench:%d: DFF %q needs exactly one fanin", lineno, g.name)
+					return nil, parseErrf(name, lineno, ErrStructure, g.name,
+						"DFF %q needs exactly one fanin", g.name)
 				}
-				dffOut = append(dffOut, g.name)
-				dffIn = append(dffIn, g.fanin[0])
+				dffOut = append(dffOut, rawSignal{g.name, lineno})
+				dffIn = append(dffIn, rawSignal{g.fanin[0], lineno})
 				continue
 			}
-			if declared[g.name] {
-				return nil, fmt.Errorf("bench:%d: signal %q defined twice", lineno, g.name)
+			if prev, ok := declared[g.name]; ok {
+				return nil, parseErrf(name, lineno, ErrDupDef, g.name,
+					"signal %q defined twice (first definition on line %d)", g.name, prev)
 			}
-			declared[g.name] = true
+			declared[g.name] = lineno
 			gates = append(gates, g)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench: read: %w", err)
+		return nil, parseErrf(name, 0, ErrIO, "", "read: %v", err)
 	}
 
 	c := netlist.New(name)
 	// Declare inputs (functional, then DFF pseudo-inputs), detecting keys.
 	for _, in := range inputs {
-		var err error
-		if strings.HasPrefix(strings.ToLower(in), KeyInputPrefix) {
-			_, err = c.AddKeyInput(in)
+		var (
+			id  int
+			err error
+		)
+		if strings.HasPrefix(strings.ToLower(in.name), KeyInputPrefix) {
+			id, err = c.AddKeyInput(in.name)
 		} else {
-			_, err = c.AddInput(in)
+			id, err = c.AddInput(in.name)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("bench: %w", err)
+			return nil, parseErrf(name, in.line, ErrMultiDriven, in.name,
+				"input %q declared twice", in.name)
 		}
+		c.SetSrcLine(id, in.line)
 	}
 	for _, q := range dffOut {
-		if _, err := c.AddInput(q); err != nil {
-			return nil, fmt.Errorf("bench: %w", err)
+		id, err := c.AddInput(q.name)
+		if err != nil {
+			return nil, parseErrf(name, q.line, ErrMultiDriven, q.name,
+				"state element %q collides with an earlier declaration", q.name)
 		}
+		c.SetSrcLine(id, q.line)
 	}
 
 	// Build gates iteratively: repeatedly add gates whose fanins exist.
@@ -135,44 +154,98 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 				next = append(next, g)
 				continue
 			}
-			if err := addGate(c, g); err != nil {
+			if err := addGate(c, name, g); err != nil {
 				return nil, err
 			}
 			progress = true
 		}
 		if !progress {
-			missing := map[string]bool{}
-			for _, g := range next {
-				for _, f := range g.fanin {
-					if _, ok := c.NodeByName(f); !ok {
-						missing[f] = true
-					}
-				}
-			}
-			names := make([]string, 0, len(missing))
-			for n := range missing {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			return nil, fmt.Errorf("bench: undefined or cyclic signals: %s", strings.Join(names, ", "))
+			return nil, unresolvedError(c, name, next)
 		}
 		pending = next
 	}
 
 	// Declare outputs (functional, then DFF pseudo-outputs).
-	for _, out := range append(append([]string(nil), outputs...), dffIn...) {
-		id, ok := c.NodeByName(out)
+	for _, out := range append(append([]rawSignal(nil), outputs...), dffIn...) {
+		id, ok := c.NodeByName(out.name)
 		if !ok {
-			return nil, fmt.Errorf("bench: output %q is never defined", out)
+			return nil, parseErrf(name, out.line, ErrUndefined, out.name,
+				"output %q is never defined", out.name)
 		}
 		if err := c.MarkOutput(id); err != nil {
-			return nil, fmt.Errorf("bench: %w", err)
+			return nil, parseErrf(name, out.line, ErrStructure, out.name, "%v", err)
 		}
 	}
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, parseErrf(name, 0, ErrStructure, "", "%v", err)
 	}
 	return c, nil
+}
+
+// unresolvedError classifies a stuck gate-resolution pass: fanin names
+// that no pending gate defines are undefined signals; if every missing
+// name is itself a pending definition, the definitions form a
+// combinational cycle, which is reported with the actual cycle path.
+func unresolvedError(c *netlist.Circuit, file string, pending []rawGate) *ParseError {
+	byName := make(map[string]*rawGate, len(pending))
+	for i := range pending {
+		byName[pending[i].name] = &pending[i]
+	}
+	var undefined []string
+	seenUndef := make(map[string]bool)
+	firstLine := 0
+	for _, g := range pending {
+		for _, f := range g.fanin {
+			if _, ok := c.NodeByName(f); ok {
+				continue
+			}
+			if _, ok := byName[f]; ok {
+				continue // defined later or on the cycle
+			}
+			if !seenUndef[f] {
+				seenUndef[f] = true
+				undefined = append(undefined, f)
+				if firstLine == 0 || g.line < firstLine {
+					firstLine = g.line
+				}
+			}
+		}
+	}
+	if len(undefined) > 0 {
+		sort.Strings(undefined)
+		return parseErrf(file, firstLine, ErrUndefined, undefined[0],
+			"undefined signals: %s", strings.Join(undefined, ", "))
+	}
+	// Every missing fanin is itself pending: find one cycle by walking
+	// unresolved fanin edges until a gate repeats.
+	g := &pending[0]
+	pos := map[string]int{}
+	var path []string
+	for {
+		if at, ok := pos[g.name]; ok {
+			cyc := path[at:]
+			return parseErrf(file, g.line, ErrCycle, g.name,
+				"combinational cycle: %s -> %s", strings.Join(cyc, " -> "), cyc[0])
+		}
+		pos[g.name] = len(path)
+		path = append(path, g.name)
+		advanced := false
+		for _, f := range g.fanin {
+			if nextG, ok := byName[f]; ok {
+				if _, resolved := c.NodeByName(f); !resolved {
+					g = nextG
+					advanced = true
+					break
+				}
+			}
+		}
+		if !advanced {
+			// Cannot happen: a pending gate always has an unresolved,
+			// pending fanin at this point. Fail defensively.
+			return parseErrf(file, g.line, ErrCycle, g.name,
+				"unresolvable signal %q", g.name)
+		}
+	}
 }
 
 // ParseString is Parse over an in-memory description.
@@ -201,30 +274,30 @@ func validName(name string) bool {
 	return true
 }
 
-func directiveArg(line, dir string, lineno int) (string, error) {
+func directiveArg(file, line, dir string, lineno int) (string, error) {
 	open := strings.IndexByte(line, '(')
 	close := strings.LastIndexByte(line, ')')
 	if open < 0 || close < open {
-		return "", fmt.Errorf("bench:%d: malformed %s directive %q", lineno, dir, line)
+		return "", parseErrf(file, lineno, ErrSyntax, line, "malformed %s directive %q", dir, line)
 	}
 	arg := strings.TrimSpace(line[open+1 : close])
 	if !validName(arg) {
-		return "", fmt.Errorf("bench:%d: invalid signal name %q in %s directive", lineno, arg, dir)
+		return "", parseErrf(file, lineno, ErrSyntax, arg, "invalid signal name %q in %s directive", arg, dir)
 	}
 	return arg, nil
 }
 
-func parseAssignment(line string, lineno int) (rawGate, error) {
+func parseAssignment(file, line string, lineno int) (rawGate, error) {
 	eq := strings.IndexByte(line, '=')
 	if eq < 0 {
-		return rawGate{}, fmt.Errorf("bench:%d: expected assignment, got %q", lineno, line)
+		return rawGate{}, parseErrf(file, lineno, ErrSyntax, line, "expected assignment, got %q", line)
 	}
 	name := strings.TrimSpace(line[:eq])
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
 	close := strings.LastIndexByte(rhs, ')')
 	if open < 0 || close < open {
-		return rawGate{}, fmt.Errorf("bench:%d: malformed gate expression %q", lineno, rhs)
+		return rawGate{}, parseErrf(file, lineno, ErrSyntax, rhs, "malformed gate expression %q", rhs)
 	}
 	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 	var fanin []string
@@ -235,11 +308,11 @@ func parseAssignment(line string, lineno int) (rawGate, error) {
 		}
 	}
 	if !validName(name) || op == "" {
-		return rawGate{}, fmt.Errorf("bench:%d: malformed assignment %q", lineno, line)
+		return rawGate{}, parseErrf(file, lineno, ErrSyntax, name, "malformed assignment %q", line)
 	}
 	for _, f := range fanin {
 		if !validName(f) {
-			return rawGate{}, fmt.Errorf("bench:%d: invalid fanin name %q", lineno, f)
+			return rawGate{}, parseErrf(file, lineno, ErrSyntax, f, "invalid fanin name %q", f)
 		}
 	}
 	return rawGate{name: name, op: op, fanin: fanin, line: lineno}, nil
@@ -258,24 +331,37 @@ var opToType = map[string]netlist.GateType{
 	"BUFF": netlist.Buf,
 }
 
-func addGate(c *netlist.Circuit, g rawGate) error {
+func addGate(c *netlist.Circuit, file string, g rawGate) error {
+	if _, exists := c.NodeByName(g.name); exists {
+		return parseErrf(file, g.line, ErrMultiDriven, g.name,
+			"signal %q is already driven by an input or state element", g.name)
+	}
 	t, ok := opToType[g.op]
 	if !ok {
 		switch g.op {
 		case "CONST0", "GND":
-			_, err := c.AddConst(false, g.name)
-			return err
+			id, err := c.AddConst(false, g.name)
+			if err != nil {
+				return parseErrf(file, g.line, ErrStructure, g.name, "%v", err)
+			}
+			c.SetSrcLine(id, g.line)
+			return nil
 		case "CONST1", "VDD":
-			_, err := c.AddConst(true, g.name)
-			return err
+			id, err := c.AddConst(true, g.name)
+			if err != nil {
+				return parseErrf(file, g.line, ErrStructure, g.name, "%v", err)
+			}
+			c.SetSrcLine(id, g.line)
+			return nil
 		}
-		return fmt.Errorf("bench:%d: unknown operator %q", g.line, g.op)
+		return parseErrf(file, g.line, ErrUnknownOp, g.op, "unknown operator %q", g.op)
 	}
 	ids := make([]int, len(g.fanin))
 	for i, f := range g.fanin {
 		id, ok := c.NodeByName(f)
 		if !ok {
-			return fmt.Errorf("bench:%d: gate %q references undefined signal %q", g.line, g.name, f)
+			return parseErrf(file, g.line, ErrUndefined, f,
+				"gate %q references undefined signal %q", g.name, f)
 		}
 		ids[i] = id
 	}
@@ -288,10 +374,11 @@ func addGate(c *netlist.Circuit, g rawGate) error {
 			t = netlist.Buf
 		}
 	}
-	_, err := c.AddGate(t, g.name, ids...)
+	id, err := c.AddGate(t, g.name, ids...)
 	if err != nil {
-		return fmt.Errorf("bench:%d: %w", g.line, err)
+		return parseErrf(file, g.line, ErrStructure, g.name, "%v", err)
 	}
+	c.SetSrcLine(id, g.line)
 	return nil
 }
 

@@ -202,3 +202,86 @@ func TestParseWhitespaceAndComments(t *testing.T) {
 		t.Fatal("whitespace handling broken")
 	}
 }
+
+// TestParseErrorStructure checks that parse failures carry the source
+// line, offending token and machine-readable code.
+func TestParseErrorStructure(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		code  ErrCode
+		line  int
+		token string
+	}{
+		{"undefined", "INPUT(a)\nOUTPUT(y)\ny = AND(a, nope)\n", ErrUndefined, 3, "nope"},
+		{"dup-def", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n", ErrDupDef, 4, "y"},
+		{"multi-driven", "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", ErrMultiDriven, 2, "a"},
+		{"input-redriven", "INPUT(a)\nOUTPUT(y)\na = NOT(y)\ny = BUF(a)\n", ErrMultiDriven, 3, "a"},
+		{"unknown-op", "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n", ErrUnknownOp, 3, "MAJ"},
+		{"syntax", "INPUT(a)\nnot bench at all\n", ErrSyntax, 2, ""},
+		{"cycle", "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = OR(a, x)\n", ErrCycle, 0, ""},
+		{"undefined-output", "INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n", ErrUndefined, 2, "nope"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src, tc.name)
+		if err == nil {
+			t.Errorf("%s: parse accepted invalid input", tc.name)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%s: error is %T, want *ParseError (%v)", tc.name, err, err)
+			continue
+		}
+		if pe.Code != tc.code {
+			t.Errorf("%s: code = %v, want %v (%v)", tc.name, pe.Code, tc.code, pe)
+		}
+		if tc.line > 0 && pe.Line != tc.line {
+			t.Errorf("%s: line = %d, want %d (%v)", tc.name, pe.Line, tc.line, pe)
+		}
+		if tc.token != "" && pe.Token != tc.token {
+			t.Errorf("%s: token = %q, want %q (%v)", tc.name, pe.Token, tc.token, pe)
+		}
+		if pe.File != tc.name {
+			t.Errorf("%s: file = %q, want %q", tc.name, pe.File, tc.name)
+		}
+	}
+}
+
+// TestParseCyclePath checks the cycle error prints the actual loop.
+func TestParseCyclePath(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = OR(a, z)\nz = NOT(x)\n"
+	_, err := ParseString(src, "loop")
+	if err == nil {
+		t.Fatal("parse accepted a cyclic netlist")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Code != ErrCycle {
+		t.Fatalf("got %v, want an ErrCycle ParseError", err)
+	}
+	for _, name := range []string{"x", "y", "z"} {
+		if !strings.Contains(pe.Msg, name) {
+			t.Fatalf("cycle message %q does not name signal %s", pe.Msg, name)
+		}
+	}
+}
+
+// TestParseRecordsSourceLines checks per-node line numbers land on the
+// parsed circuit for check diagnostics.
+func TestParseRecordsSourceLines(t *testing.T) {
+	src := "# comment\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\n\nmid = AND(a, b)\ny = NOT(mid)\n"
+	c, err := ParseString(src, "lines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"a": 2, "b": 3, "mid": 6, "y": 7}
+	for name, line := range want {
+		id, ok := c.NodeByName(name)
+		if !ok {
+			t.Fatalf("node %s missing", name)
+		}
+		if got := c.SrcLine(id); got != line {
+			t.Errorf("SrcLine(%s) = %d, want %d", name, got, line)
+		}
+	}
+}

@@ -48,6 +48,6 @@ func FuzzDirectiveArg(f *testing.F) {
 			return
 		}
 		// Must not panic regardless of shape.
-		_, _ = directiveArg(line, "INPUT", 1)
+		_, _ = directiveArg("fuzz", line, "INPUT", 1)
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"orap/internal/check"
 	"orap/internal/netlist"
 	"orap/internal/rng"
 )
@@ -226,6 +227,9 @@ func Generate(p Profile, seed uint64) (*netlist.Circuit, error) {
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("benchgen: generated circuit invalid: %w", err)
+	}
+	if rep := check.Structural(c); rep.HasErrors() {
+		return nil, fmt.Errorf("benchgen: %w", rep.Err())
 	}
 	return c, nil
 }

@@ -1,0 +1,508 @@
+// Package check is the structural netlist analyzer: a catalog of lint
+// rules over gate-level circuits producing typed diagnostics with rule
+// IDs, severities, node names and .bench source lines.
+//
+// The rules split into three groups:
+//
+//   - Structural soundness (error severity): combinational cycles with
+//     the offending path printed, undriven nets, gate arity violations.
+//     These make a circuit unusable by the simulator, CNF encoder and
+//     ATPG stack; ir.Compile rejects circuits that fail them.
+//   - Hygiene (warning/info severity): dangling gates, dead cones
+//     unreachable from any primary output, provably-constant gate
+//     outputs (constant propagation), unused primary inputs. Legal but
+//     almost always a netlist bug, and they skew the paper's area and
+//     coverage metrics (Tables I & II).
+//   - Locked-circuit conventions: every key input must structurally
+//     reach at least one primary output (a locked circuit failing this
+//     has a no-op key bit — error severity), key inputs should follow
+//     the keyinput<N> naming convention, and key bits conventionally
+//     feed XOR/XNOR key gates.
+//
+// Source-level defects that prevent a circuit from being built at all
+// (duplicate definitions, multiply-driven nets, undefined signals,
+// parse-level cycles) are surfaced by Source/File, which map the bench
+// parser's structured errors into the same diagnostic format.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"orap/internal/netlist"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Severities, in increasing order.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns "info", "warning" or "error".
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", uint8(s))
+}
+
+// Rule IDs. Circuit-level rules are produced by Circuit/Structural;
+// source-level rules by Source/File (mapped from bench.ParseError).
+const (
+	// RuleCycle: combinational cycle; the diagnostic carries the cycle
+	// path in driver order. Error.
+	RuleCycle = "cycle"
+	// RuleUndriven: a net with no driver — an Input-type node that is
+	// registered as neither a primary nor a key input. Error.
+	RuleUndriven = "undriven"
+	// RuleArity: gate arity or reference violations (Buf/Not fanin != 1,
+	// multi-input gates with < 2 fanins, out-of-range references,
+	// unknown gate types). Error.
+	RuleArity = "arity"
+	// RuleDangling: a non-output gate driving nothing. Warning.
+	RuleDangling = "dangling"
+	// RuleDeadCone: a gate with fanout that still cannot reach any
+	// primary output — it feeds only dead logic. Warning.
+	RuleDeadCone = "dead-cone"
+	// RuleUnusedInput: a primary input driving nothing. Info.
+	RuleUnusedInput = "unused-input"
+	// RuleConstOut: a gate output provably stuck at a constant under
+	// constant propagation from Const0/Const1 drivers and degenerate
+	// XOR/XNOR shapes. Warning.
+	RuleConstOut = "const-out"
+	// RuleKeyUnobservable: a key input with no structural path to any
+	// primary output; its key gate cannot affect the function. Error.
+	RuleKeyUnobservable = "key-unobservable"
+	// RuleKeyNaming: a key input that does not follow the keyinput<N>
+	// declaration-order naming convention. Warning.
+	RuleKeyNaming = "key-naming"
+	// RuleKeyGateShape: a key input whose fanout cone contains no
+	// XOR/XNOR gate — an unconventional key-gate shape. Info.
+	RuleKeyGateShape = "key-gate-shape"
+
+	// RuleSyntax: unparseable .bench text. Error.
+	RuleSyntax = "syntax"
+	// RuleUnknownOp: unknown gate operator in an assignment. Error.
+	RuleUnknownOp = "unknown-op"
+	// RuleDupDef: a signal assigned by two gate definitions. Error.
+	RuleDupDef = "dup-def"
+	// RuleMultiDriven: a net driven more than once across declaration
+	// kinds (INPUT redeclared, or INPUT also assigned). Error.
+	RuleMultiDriven = "multi-driven"
+	// RuleUndefined: a referenced signal that is never defined. Error.
+	RuleUndefined = "undefined"
+	// RuleIO: the source could not be read. Error.
+	RuleIO = "io"
+)
+
+// Diagnostic is one finding: the rule that fired, its severity, the
+// offending node (ID, name and .bench source line when known) and a
+// human-readable message. Cycle carries the node names along a
+// combinational cycle in driver order, for RuleCycle only.
+type Diagnostic struct {
+	Rule  string
+	Sev   Severity
+	Node  int // node ID, -1 when not tied to a node
+	Name  string
+	Line  int // 1-based .bench line, 0 when unknown
+	Msg   string
+	Cycle []string
+}
+
+// String renders the diagnostic as "line 12: error[cycle]: message".
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "line %d: ", d.Line)
+	}
+	fmt.Fprintf(&b, "%s[%s]: %s", d.Sev, d.Rule, d.Msg)
+	return b.String()
+}
+
+// Report is the outcome of checking one circuit.
+type Report struct {
+	// Circuit is the checked circuit's name.
+	Circuit string
+	// Diags holds every diagnostic, grouped by rule in catalog order
+	// and by node ID within a rule.
+	Diags []Diagnostic
+}
+
+func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+// HasErrors reports whether any diagnostic has error severity.
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diags {
+		if d.Sev == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the error-severity diagnostics.
+func (r *Report) Errors() []Diagnostic { return r.AtLeast(Error) }
+
+// AtLeast returns the diagnostics with severity >= min.
+func (r *Report) AtLeast(min Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Sev >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByRule returns the diagnostics produced by the given rule.
+func (r *Report) ByRule(rule string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders the report one diagnostic per line, prefixed with the
+// circuit name.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "%s: %s\n", r.Circuit, d)
+	}
+	return b.String()
+}
+
+// Err converts the report's error-severity diagnostics into a single
+// error, or nil when there are none. Multiple errors are summarized
+// with the first message and a count.
+func (r *Report) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	first := errs[0]
+	if len(errs) == 1 {
+		return fmt.Errorf("check: circuit %q: %s", r.Circuit, first)
+	}
+	return fmt.Errorf("check: circuit %q: %s (and %d more errors)", r.Circuit, first, len(errs)-1)
+}
+
+// diag builds a node-anchored diagnostic, resolving name and line.
+func diag(c *netlist.Circuit, rule string, sev Severity, id int, format string, args ...interface{}) Diagnostic {
+	d := Diagnostic{
+		Rule: rule,
+		Sev:  sev,
+		Node: id,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+	if id >= 0 && id < c.NumNodes() {
+		d.Name = c.NameOf(id)
+		d.Line = c.SrcLine(id)
+	}
+	return d
+}
+
+// Structural runs only the structural-soundness rules (arity, undriven,
+// cycle) and returns their report. A circuit passing Structural can be
+// compiled by ir.Compile and consumed by every evaluation backend.
+func Structural(c *netlist.Circuit) *Report {
+	rep := &Report{Circuit: c.Name}
+	structural(c, rep)
+	return rep
+}
+
+// structural appends arity/undriven/cycle diagnostics to rep and
+// reports whether the circuit is sound enough for the graph-walking
+// rules (no out-of-range references, no cycles).
+func structural(c *netlist.Circuit, rep *Report) bool {
+	sound := true
+
+	registered := make(map[int]bool, len(c.PIs)+len(c.Keys))
+	for _, in := range c.AllInputs() {
+		if in < 0 || in >= c.NumNodes() || c.Gates[in].Type != netlist.Input {
+			rep.add(diag(c, RuleArity, Error, in,
+				"input list references node %d, which is not an Input node", in))
+			sound = false
+			continue
+		}
+		registered[in] = true
+	}
+
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			if len(g.Fanin) != 0 {
+				rep.add(diag(c, RuleArity, Error, id, "input %q must have no fanin, has %d", c.NameOf(id), len(g.Fanin)))
+				sound = false
+			}
+			if !registered[id] {
+				rep.add(diag(c, RuleUndriven, Error, id,
+					"net %q has no driver: an Input-type node registered as neither primary nor key input", c.NameOf(id)))
+			}
+		case netlist.Const0, netlist.Const1:
+			if len(g.Fanin) != 0 {
+				rep.add(diag(c, RuleArity, Error, id, "constant %q must have no fanin, has %d", c.NameOf(id), len(g.Fanin)))
+				sound = false
+			}
+		case netlist.Buf, netlist.Not:
+			if len(g.Fanin) != 1 {
+				rep.add(diag(c, RuleArity, Error, id, "%v gate %q must have exactly 1 fanin, has %d", g.Type, c.NameOf(id), len(g.Fanin)))
+				sound = false
+			}
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor:
+			if len(g.Fanin) < 2 {
+				rep.add(diag(c, RuleArity, Error, id, "%v gate %q must have at least 2 fanins, has %d", g.Type, c.NameOf(id), len(g.Fanin)))
+				sound = false
+			}
+		default:
+			rep.add(diag(c, RuleArity, Error, id, "node %q has unknown gate type %d", c.NameOf(id), uint8(g.Type)))
+			sound = false
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= c.NumNodes() {
+				rep.add(diag(c, RuleArity, Error, id, "gate %q references out-of-range fanin %d", c.NameOf(id), f))
+				sound = false
+			}
+		}
+	}
+	for _, o := range c.POs {
+		if o < 0 || o >= c.NumNodes() {
+			rep.add(Diagnostic{Rule: RuleArity, Sev: Error, Node: -1,
+				Msg: fmt.Sprintf("output list references out-of-range node %d", o)})
+			sound = false
+		}
+	}
+	if !sound {
+		return false
+	}
+
+	if cyc := c.FindCycle(); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, id := range cyc {
+			names[i] = c.NameOf(id)
+		}
+		d := diag(c, RuleCycle, Error, cyc[0],
+			"combinational cycle: %s -> %s", strings.Join(names, " -> "), names[0])
+		d.Cycle = names
+		rep.add(d)
+		return false
+	}
+	return true
+}
+
+// Circuit runs the full rule catalog and returns the report. The
+// hygiene and key rules only run when the structural rules pass, since
+// they need a sound DAG to walk.
+func Circuit(c *netlist.Circuit) *Report {
+	rep := &Report{Circuit: c.Name}
+	if !structural(c, rep) {
+		return rep
+	}
+
+	fanout := c.FanoutLists()
+	reach := c.TransitiveFanin(c.POs...)
+	isPO := make(map[int]bool, len(c.POs))
+	for _, o := range c.POs {
+		isPO[o] = true
+	}
+
+	// Dangling gates, dead cones and unused inputs.
+	for id := range c.Gates {
+		t := c.Gates[id].Type
+		if t == netlist.Input {
+			if len(fanout[id]) == 0 && !isPO[id] && !c.IsKeyInput(id) {
+				rep.add(diag(c, RuleUnusedInput, Info, id, "primary input %q drives nothing", c.NameOf(id)))
+			}
+			continue
+		}
+		if reach[id] {
+			continue
+		}
+		if len(fanout[id]) == 0 && !isPO[id] {
+			rep.add(diag(c, RuleDangling, Warning, id,
+				"%v gate %q drives nothing and is not an output", t, c.NameOf(id)))
+		} else if len(fanout[id]) > 0 {
+			rep.add(diag(c, RuleDeadCone, Warning, id,
+				"%v gate %q cannot reach any primary output (dead cone)", t, c.NameOf(id)))
+		}
+	}
+
+	constOutputs(c, rep)
+	keyRules(c, rep, fanout, reach)
+	return rep
+}
+
+// constOutputs runs constant propagation over the DAG and reports gates
+// whose output is provably stuck. The lattice is {unknown, 0, 1}:
+// constants seed known values, AND/OR families fold through absorbing
+// inputs, and two-input XOR/XNOR of the same signal folds regardless of
+// the signal's value.
+func constOutputs(c *netlist.Circuit, rep *Report) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return // structural() already reported the cycle
+	}
+	const unknown = int8(-1)
+	val := make([]int8, c.NumNodes())
+	for i := range val {
+		val[i] = unknown
+	}
+	for _, id := range order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			continue
+		case netlist.Const0:
+			val[id] = 0
+			continue
+		case netlist.Const1:
+			val[id] = 1
+			continue
+		}
+		v := foldGate(g, val)
+		val[id] = v
+		if v != unknown {
+			rep.add(diag(c, RuleConstOut, Warning, id,
+				"output of %v gate %q is provably constant %d", g.Type, c.NameOf(id), v))
+		}
+	}
+}
+
+// foldGate evaluates one gate over the three-valued lattice.
+func foldGate(g *netlist.Gate, val []int8) int8 {
+	const unknown = int8(-1)
+	switch g.Type {
+	case netlist.Buf:
+		return val[g.Fanin[0]]
+	case netlist.Not:
+		if v := val[g.Fanin[0]]; v != unknown {
+			return 1 - v
+		}
+		return unknown
+	case netlist.And, netlist.Nand:
+		out := int8(1)
+		for _, f := range g.Fanin {
+			switch val[f] {
+			case 0:
+				out = 0
+			case unknown:
+				if out != 0 {
+					out = unknown
+				}
+			}
+		}
+		if out == unknown {
+			return unknown
+		}
+		if g.Type == netlist.Nand {
+			return 1 - out
+		}
+		return out
+	case netlist.Or, netlist.Nor:
+		out := int8(0)
+		for _, f := range g.Fanin {
+			switch val[f] {
+			case 1:
+				out = 1
+			case unknown:
+				if out != 1 {
+					out = unknown
+				}
+			}
+		}
+		if out == unknown {
+			return unknown
+		}
+		if g.Type == netlist.Nor {
+			return 1 - out
+		}
+		return out
+	case netlist.Xor, netlist.Xnor:
+		// Degenerate shape: x XOR x is 0 (x XNOR x is 1) whatever x is.
+		if len(g.Fanin) == 2 && g.Fanin[0] == g.Fanin[1] {
+			if g.Type == netlist.Xor {
+				return 0
+			}
+			return 1
+		}
+		parity := int8(0)
+		for _, f := range g.Fanin {
+			v := val[f]
+			if v == unknown {
+				return unknown
+			}
+			parity ^= v
+		}
+		if g.Type == netlist.Xnor {
+			return 1 - parity
+		}
+		return parity
+	}
+	return unknown
+}
+
+// keyRules checks the locked-circuit conventions: key observability,
+// key-input naming and key-gate shape. No-ops on unlocked circuits.
+func keyRules(c *netlist.Circuit, rep *Report, fanout [][]int, reach []bool) {
+	if c.NumKeys() == 0 {
+		return
+	}
+	for i, id := range c.Keys {
+		switch {
+		case len(fanout[id]) == 0:
+			// A key input driving no gate at all is a scheme artifact —
+			// weighted locking with KeyBits not divisible by the control
+			// width leaves the remainder bits unused — so it warns
+			// rather than fails: the circuit still evaluates correctly,
+			// the bit is just dead key material.
+			rep.add(diag(c, RuleKeyUnobservable, Warning, id,
+				"key input %q (bit %d) drives no gate; the key bit is dead key material", c.NameOf(id), i))
+		case !reach[id]:
+			rep.add(diag(c, RuleKeyUnobservable, Error, id,
+				"key input %q (bit %d) has no structural path to any primary output; its key gate is a no-op", c.NameOf(id), i))
+		}
+		name := c.NameOf(id)
+		want := fmt.Sprintf("keyinput%d", i)
+		if !strings.EqualFold(name, want) {
+			rep.add(diag(c, RuleKeyNaming, Warning, id,
+				"key bit %d is named %q; the locked-circuit convention is %q (declaration order)", i, name, want))
+		}
+		if reach[id] && !reachesXorGate(c, fanout, id) {
+			rep.add(diag(c, RuleKeyGateShape, Info, id,
+				"key input %q never feeds an XOR/XNOR gate; unconventional key-gate shape", c.NameOf(id)))
+		}
+	}
+}
+
+// reachesXorGate reports whether any XOR/XNOR gate lies in the
+// transitive fanout cone of root.
+func reachesXorGate(c *netlist.Circuit, fanout [][]int, root int) bool {
+	seen := make([]bool, c.NumNodes())
+	stack := []int{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if t := c.Gates[id].Type; t == netlist.Xor || t == netlist.Xnor {
+			return true
+		}
+		stack = append(stack, fanout[id]...)
+	}
+	return false
+}

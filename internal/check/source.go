@@ -1,0 +1,94 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"orap/internal/bench"
+	"orap/internal/netlist"
+)
+
+// parseRule maps bench parse-error codes onto check rule IDs.
+var parseRule = map[bench.ErrCode]string{
+	bench.ErrSyntax:      RuleSyntax,
+	bench.ErrUnknownOp:   RuleUnknownOp,
+	bench.ErrDupDef:      RuleDupDef,
+	bench.ErrMultiDriven: RuleMultiDriven,
+	bench.ErrUndefined:   RuleUndefined,
+	bench.ErrCycle:       RuleCycle,
+	bench.ErrStructure:   RuleArity,
+	bench.ErrIO:          RuleIO,
+}
+
+// FromParseError converts a bench parse failure into a diagnostic.
+// Non-ParseError values map onto a generic syntax diagnostic.
+func FromParseError(err error) Diagnostic {
+	pe, ok := err.(*bench.ParseError)
+	if !ok {
+		return Diagnostic{Rule: RuleSyntax, Sev: Error, Node: -1, Msg: err.Error()}
+	}
+	rule, ok := parseRule[pe.Code]
+	if !ok {
+		rule = RuleSyntax
+	}
+	return Diagnostic{
+		Rule: rule,
+		Sev:  Error,
+		Node: -1,
+		Name: pe.Token,
+		Line: pe.Line,
+		Msg:  pe.Msg,
+	}
+}
+
+// Source parses a .bench description and checks it. Parse failures come
+// back as a report with a single source-level diagnostic and a nil
+// circuit; successful parses return the circuit and the full Circuit
+// report.
+func Source(r io.Reader, name string) (*netlist.Circuit, *Report) {
+	c, err := bench.Parse(r, name)
+	if err != nil {
+		return nil, &Report{Circuit: name, Diags: []Diagnostic{FromParseError(err)}}
+	}
+	return c, Circuit(c)
+}
+
+// SourceString is Source over an in-memory description.
+func SourceString(src, name string) (*netlist.Circuit, *Report) {
+	return Source(strings.NewReader(src), name)
+}
+
+// File opens, parses and checks a .bench file. The returned error covers
+// only I/O failures on open; parse and structural findings are in the
+// report.
+func File(path string) (*netlist.Circuit, *Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	c, rep := Source(f, path)
+	return c, rep, nil
+}
+
+// LoadFile is the command-line loading discipline shared by the cmd/*
+// tools: parse path, run the full rule set, fail on any error-severity
+// diagnostic, and — when warn is non-nil (the -Wall flag) — print the
+// surviving warning- and info-level diagnostics to it.
+func LoadFile(path string, warn io.Writer) (*netlist.Circuit, error) {
+	c, rep, err := File(path)
+	if err != nil {
+		return nil, err
+	}
+	if warn != nil {
+		for _, d := range rep.Diags {
+			fmt.Fprintf(warn, "%s: %s\n", rep.Circuit, d)
+		}
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -30,6 +30,7 @@ package ir
 import (
 	"fmt"
 
+	"orap/internal/check"
 	"orap/internal/netlist"
 )
 
@@ -103,9 +104,14 @@ type Program struct {
 
 // Compile flattens a finished circuit into an immutable Program. The
 // circuit is only read; later mutations of it are not reflected in the
-// returned program. An error is returned if the circuit contains a
-// combinational cycle.
+// returned program. The structural-soundness rules of internal/check
+// (gate arity, undriven nets, combinational cycles) run first and any
+// error-severity finding aborts the compile, so no downstream backend
+// ever sees an ill-formed program.
 func Compile(c *netlist.Circuit) (*Program, error) {
+	if rep := check.Structural(c); rep.HasErrors() {
+		return nil, fmt.Errorf("ir: %w", rep.Err())
+	}
 	n := len(c.Gates)
 	p := &Program{
 		Name:        c.Name,

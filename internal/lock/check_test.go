@@ -1,0 +1,65 @@
+package lock
+
+import (
+	"testing"
+
+	"orap/internal/check"
+	"orap/internal/circuits"
+	"orap/internal/netlist"
+	"orap/internal/rng"
+)
+
+// TestLockedOutputsPassCheck runs the full diagnostic rule set on each
+// technique's output right after construction: no error-severity
+// findings, no key-convention warnings (keys must be named keyinput<i>
+// and every key bit must be observable), and no dead logic introduced
+// by the rewiring.
+func TestLockedOutputsPassCheck(t *testing.T) {
+	base := circuits.RippleAdder(4)
+	techniques := map[string]func() (*Locked, error){
+		"randomxor": func() (*Locked, error) { return RandomXOR(base.Clone(), 4, rng.New(21)) },
+		"weighted": func() (*Locked, error) {
+			return Weighted(base.Clone(), WeightedOptions{KeyBits: 6, ControlWidth: 3, Rand: rng.New(22)})
+		},
+		"sarlock": func() (*Locked, error) { return SARLock(base.Clone(), 4, rng.New(23)) },
+		"antisat": func() (*Locked, error) { return AntiSAT(base.Clone(), 4, rng.New(24)) },
+		"ttlock":  func() (*Locked, error) { return TTLock(base.Clone(), 4, rng.New(25)) },
+	}
+	for name, build := range techniques {
+		l, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := check.Circuit(l.Circuit)
+		if errs := rep.Errors(); len(errs) != 0 {
+			t.Errorf("%s: error diagnostics on the locked output:\n%s", name, rep)
+		}
+		for _, rule := range []string{check.RuleKeyNaming, check.RuleKeyUnobservable, check.RuleDangling, check.RuleDeadCone} {
+			if d := rep.ByRule(rule); len(d) != 0 {
+				t.Errorf("%s: rule %s fired on the locked output:\n%s", name, rule, rep)
+			}
+		}
+	}
+}
+
+// TestStackedLockPassesCheck covers the compound-defense path: weighted
+// locking wrapped in SARLock must still satisfy the key conventions for
+// the concatenated key.
+func TestStackedLockPassesCheck(t *testing.T) {
+	l, err := Stack(circuits.RippleAdder(4),
+		func(c *netlist.Circuit) (*Locked, error) {
+			return Weighted(c, WeightedOptions{KeyBits: 6, ControlWidth: 3, Rand: rng.New(31)})
+		},
+		func(c *netlist.Circuit) (*Locked, error) { return SARLock(c, 4, rng.New(32)) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := check.Circuit(l.Circuit)
+	if errs := rep.Errors(); len(errs) != 0 {
+		t.Fatalf("stacked lock: error diagnostics:\n%s", rep)
+	}
+	if d := rep.ByRule(check.RuleKeyNaming); len(d) != 0 {
+		t.Fatalf("stacked lock: key naming broke across stacking:\n%s", rep)
+	}
+}

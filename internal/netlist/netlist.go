@@ -139,6 +139,13 @@ type Circuit struct {
 	// POs lists primary output node IDs in declaration order.
 	POs []int
 
+	// SrcLines optionally records, per node, the 1-based source line the
+	// node was defined on (0 = unknown). Populated by parsers such as
+	// bench.Parse so structural diagnostics (internal/check) can point
+	// back into the source file. The slice may be shorter than Gates;
+	// use SrcLine/SetSrcLine rather than indexing directly.
+	SrcLines []int
+
 	byName map[string]int
 }
 
@@ -283,6 +290,27 @@ func (c *Circuit) NameOf(id int) string {
 	return fmt.Sprintf("n%d", id)
 }
 
+// SetSrcLine records the 1-based source line node id was defined on.
+// Lines are advisory metadata: they survive Clone but are not otherwise
+// maintained across structural edits.
+func (c *Circuit) SetSrcLine(id, line int) {
+	if id < 0 || id >= len(c.Gates) || line <= 0 {
+		return
+	}
+	for len(c.SrcLines) < len(c.Gates) {
+		c.SrcLines = append(c.SrcLines, 0)
+	}
+	c.SrcLines[id] = line
+}
+
+// SrcLine returns the recorded source line of node id, or 0 when unknown.
+func (c *Circuit) SrcLine(id int) int {
+	if id >= 0 && id < len(c.SrcLines) {
+		return c.SrcLines[id]
+	}
+	return 0
+}
+
 // Rename assigns a (new) name to node id.
 func (c *Circuit) Rename(id int, name string) error {
 	if id < 0 || id >= len(c.Gates) {
@@ -304,6 +332,7 @@ func (c *Circuit) Clone() *Circuit {
 		PIs:       append([]int(nil), c.PIs...),
 		Keys:      append([]int(nil), c.Keys...),
 		POs:       append([]int(nil), c.POs...),
+		SrcLines:  append([]int(nil), c.SrcLines...),
 		byName:    make(map[string]int, len(c.byName)),
 	}
 	for i, g := range c.Gates {

@@ -298,3 +298,65 @@ func BenchmarkTopoOrder(b *testing.B) {
 		}
 	}
 }
+
+// TestTopoOrderCycleNamesGates is the regression test for the cycle
+// failure mode: the error must name gates on the cycle so callers can
+// locate it, not just report a count.
+func TestTopoOrderCycleNamesGates(t *testing.T) {
+	c := New("cyclic")
+	a, _ := c.AddInput("a")
+	g1 := c.MustAddGate(And, "loop1", a, a)
+	g2 := c.MustAddGate(Or, "loop2", g1, a)
+	g3 := c.MustAddGate(And, "loop3", g2, a)
+	c.MarkOutput(g3)
+	// Close the cycle loop1 -> loop2 -> loop3 -> loop1 behind AddGate's back.
+	c.Gates[g1].Fanin[1] = g3
+	if _, err := c.TopoOrder(); err == nil {
+		t.Fatal("TopoOrder accepted a cyclic circuit")
+	} else {
+		msg := err.Error()
+		for _, want := range []string{"loop1", "loop2", "loop3"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("cycle error %q does not name gate %s", msg, want)
+			}
+		}
+	}
+	cyc := c.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("FindCycle returned %v, want the 3-gate loop", cyc)
+	}
+	for i, id := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		found := false
+		for _, f := range c.Gates[next].Fanin {
+			if f == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("FindCycle %v is not in driver order: %s does not drive %s",
+				cyc, c.NameOf(id), c.NameOf(next))
+		}
+	}
+}
+
+// TestFindCycleAcyclic confirms FindCycle reports nothing on a DAG.
+func TestFindCycleAcyclic(t *testing.T) {
+	c := buildSmall(t)
+	if cyc := c.FindCycle(); cyc != nil {
+		t.Fatalf("FindCycle found %v in an acyclic circuit", cyc)
+	}
+}
+
+// TestCloneKeepsSrcLines confirms source-line metadata survives Clone.
+func TestCloneKeepsSrcLines(t *testing.T) {
+	c := buildSmall(t)
+	c.SetSrcLine(0, 7)
+	cl := c.Clone()
+	if cl.SrcLine(0) != 7 {
+		t.Fatalf("clone lost source line: got %d, want 7", cl.SrcLine(0))
+	}
+	if c.SrcLine(99) != 0 {
+		t.Fatal("SrcLine of unknown node should be 0")
+	}
+}

@@ -1,6 +1,9 @@
 package netlist
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // TopoOrder returns the node IDs in a topological order (every node appears
 // after all of its fanins). The order is recomputed on every call — hot
@@ -33,9 +36,84 @@ func (c *Circuit) TopoOrder() ([]int, error) {
 		}
 	}
 	if len(order) != n {
-		return nil, fmt.Errorf("netlist: circuit %q contains a combinational cycle (%d of %d nodes ordered)", c.Name, len(order), n)
+		cyc := c.FindCycle()
+		return nil, fmt.Errorf("netlist: circuit %q contains a combinational cycle through %s (%d of %d nodes ordered)",
+			c.Name, c.cyclePath(cyc), len(order), n)
 	}
 	return order, nil
+}
+
+// FindCycle returns the node IDs of one combinational cycle, in driver
+// order (each node drives the next, and the last drives the first), or
+// nil when the circuit is acyclic. Only one cycle is reported even when
+// several exist.
+func (c *Circuit) FindCycle() []int {
+	const (
+		unseen = 0
+		active = 1
+		done   = 2
+	)
+	state := make([]uint8, len(c.Gates))
+	// Iterative DFS over fanin edges; an edge into an "active" node closes
+	// a cycle. pathPos tracks each active node's index on the DFS path so
+	// the cycle can be sliced out.
+	path := make([]int, 0, 16)
+	pathPos := make([]int, len(c.Gates))
+	type frame struct{ id, next int }
+	for root := range c.Gates {
+		if state[root] != unseen {
+			continue
+		}
+		stack := []frame{{root, 0}}
+		state[root] = active
+		pathPos[root] = len(path)
+		path = append(path, root)
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			fan := c.Gates[fr.id].Fanin
+			if fr.next < len(fan) {
+				f := fan[fr.next]
+				fr.next++
+				if f < 0 || f >= len(c.Gates) {
+					continue
+				}
+				switch state[f] {
+				case active:
+					// path[pathPos[f]:] is the cycle, discovered along
+					// fanin edges; reverse it so it reads driver→sink.
+					cyc := append([]int(nil), path[pathPos[f]:]...)
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				case unseen:
+					state[f] = active
+					pathPos[f] = len(path)
+					path = append(path, f)
+					stack = append(stack, frame{f, 0})
+				}
+				continue
+			}
+			state[fr.id] = done
+			path = path[:len(path)-1]
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// cyclePath renders a cycle as "a -> b -> c -> a" using node names.
+func (c *Circuit) cyclePath(cyc []int) string {
+	if len(cyc) == 0 {
+		return "(unknown)"
+	}
+	var b strings.Builder
+	for _, id := range cyc {
+		b.WriteString(c.NameOf(id))
+		b.WriteString(" -> ")
+	}
+	b.WriteString(c.NameOf(cyc[0]))
+	return b.String()
 }
 
 // MustTopoOrder is TopoOrder that panics on cyclic circuits.

@@ -1,0 +1,32 @@
+package orap
+
+import (
+	"testing"
+
+	"orap/internal/check"
+	"orap/internal/rng"
+	"orap/internal/scan"
+)
+
+// TestProtectedCorePassesCheck runs the netlist checker on the core a
+// chip is built around, for every protection variant: Protect must not
+// leave the combinational core with error-severity findings or break
+// the key conventions the attacks rely on.
+func TestProtectedCorePassesCheck(t *testing.T) {
+	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic, scan.OraPModified} {
+		_, l := lockedAdder(t, 41, 12)
+		cfg, err := Protect(l.Circuit, l.Key, 5, 1, prot, Options{Rand: rng.New(42)})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		rep := check.Circuit(cfg.Core)
+		if errs := rep.Errors(); len(errs) != 0 {
+			t.Errorf("%v: error diagnostics on the protected core:\n%s", prot, rep)
+		}
+		for _, rule := range []string{check.RuleKeyNaming, check.RuleKeyUnobservable} {
+			if d := rep.ByRule(rule); len(d) != 0 {
+				t.Errorf("%v: rule %s fired on the protected core:\n%s", prot, rule, rep)
+			}
+		}
+	}
+}
