@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet orapvet fmt build test race bench bench-parallel ci
+.PHONY: all vet orapvet audit fmt build test race bench bench-parallel ci
 
 all: vet build test
 
@@ -14,6 +14,13 @@ vet:
 # test hygiene); see cmd/orapvet and DESIGN.md "Static analysis".
 orapvet:
 	$(GO) run ./cmd/orapvet
+
+# Security clean-sweep: every shipped circuit × all five locking schemes
+# through the audit analyzer, plus the weighted + OraP oracle pairing.
+# Random XOR must fire the fingerprint/removability rules; OraP configs
+# must audit error-free with full key entropy. See cmd/orapaudit -sweep.
+audit:
+	$(GO) run ./cmd/orapaudit -sweep
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
@@ -40,4 +47,4 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'Serial|Parallel' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'CloneRelease|NewParallelNoPool' -benchmem ./internal/sim
 
-ci: vet fmt orapvet build test race
+ci: vet fmt orapvet audit build test race

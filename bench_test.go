@@ -11,6 +11,7 @@ package orap_test
 import (
 	"testing"
 
+	"orap/internal/audit"
 	"orap/internal/benchgen"
 	"orap/internal/exp"
 	"orap/internal/faultsim"
@@ -230,6 +231,42 @@ func benchmarkFaultSim(b *testing.B, workers int) {
 
 func BenchmarkFaultSimSerial(b *testing.B)   { benchmarkFaultSim(b, 1) }
 func BenchmarkFaultSimParallel(b *testing.B) { benchmarkFaultSim(b, 0) }
+
+// BenchmarkAudit measures the full security analyzer (removability
+// constant propagation per key bit, fingerprint classification,
+// corruptibility cones) on the largest generated circuit, locked the
+// way Table I locks it. Reported metric: findings per run, pinned so a
+// rule regression shows up next to a timing one.
+func BenchmarkAudit(b *testing.B) {
+	prof, err := benchgen.ProfileByName("b19")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled := prof.Scale(benchScale)
+	circuit, err := benchgen.Generate(scaled, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lock.Weighted(circuit, lock.WeightedOptions{
+		KeyBits:      scaled.LFSRSize,
+		ControlWidth: scaled.CtrlInputs,
+		Rand:         rng.New(benchSeed),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := audit.Circuit(l.Circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.HasErrors() {
+			b.Fatalf("audit errors on the weighted-locked benchmark:\n%s", rep)
+		}
+		b.ReportMetric(float64(len(rep.Findings)), "findings")
+	}
+}
 
 // BenchmarkTableII regenerates Table II (stuck-at fault coverage and
 // redundant+aborted fault counts, original vs protected). The coverage

@@ -13,6 +13,12 @@
 //	orapbench -table keysize  # ablation: HD saturation vs key size
 //	orapbench -table others   # bypass / SPS+removal applicability
 //	orapbench -table all
+//	orapbench -check          # structural preflight of the generated suite
+//	orapbench -audit          # preflight + security audit of the locked suite
+//
+// The preflight modes exit 0 when clean (or info-only), 1 on
+// error-severity findings, 2 on internal failure and 3 on warnings only
+// — the same convention as cmd/orapaudit.
 //
 // The -scale flag shrinks the generated benchmark circuits; -scale 1
 // reproduces the paper's circuit sizes (Table I/II then take minutes to
@@ -26,20 +32,19 @@ import (
 	"strings"
 	"time"
 
-	"orap/internal/benchgen"
-	"orap/internal/check"
 	"orap/internal/exp"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table to regenerate: 1, 2, attacks, trojan, scaling, xortree, ctrl, keysize, others, all")
-		scale     = flag.Float64("scale", 0.05, "benchmark circuit scale factor (1 = paper scale)")
-		seed      = flag.Uint64("seed", 2020, "experiment seed")
-		patterns  = flag.Int("patterns", 0, "HD pattern count (0 = default, a few hundred thousand)")
-		circuits  = flag.String("circuits", "", "comma-separated benchmark subset (default: all eight)")
-		workers   = flag.Int("workers", 0, "worker pool size for the simulation hot paths (0 = all cores, 1 = serial); tables are identical at any setting")
-		preflight = flag.Bool("check", false, "structurally check the generated benchmark suite at this -scale/-seed and exit")
+		table    = flag.String("table", "all", "which table to regenerate: 1, 2, attacks, trojan, scaling, xortree, ctrl, keysize, others, all")
+		scale    = flag.Float64("scale", 0.05, "benchmark circuit scale factor (1 = paper scale)")
+		seed     = flag.Uint64("seed", 2020, "experiment seed")
+		patterns = flag.Int("patterns", 0, "HD pattern count (0 = default, a few hundred thousand)")
+		circuits = flag.String("circuits", "", "comma-separated benchmark subset (default: all eight)")
+		workers  = flag.Int("workers", 0, "worker pool size for the simulation hot paths (0 = all cores, 1 = serial); tables are identical at any setting")
+		doCheck  = flag.Bool("check", false, "structurally check the generated benchmark suite at this -scale/-seed and exit")
+		doAudit  = flag.Bool("audit", false, "like -check, plus the security audit of the Table I lock + OraP pairing")
 	)
 	flag.Parse()
 	scaleExplicit := false
@@ -61,39 +66,8 @@ func main() {
 		subset = strings.Split(*circuits, ",")
 	}
 
-	if *preflight {
-		// Generate every benchmark the tables would use and run the full
-		// diagnostic rule set; error-severity findings fail the run.
-		names := subset
-		if names == nil {
-			for _, p := range benchgen.Profiles {
-				names = append(names, p.Name)
-			}
-		}
-		failed := false
-		for _, name := range names {
-			prof, err := benchgen.ProfileByName(name)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "orapbench: %v\n", err)
-				os.Exit(1)
-			}
-			c, err := benchgen.Generate(prof.Scale(*scale), *seed)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "orapbench: %s: %v\n", name, err)
-				os.Exit(1)
-			}
-			rep := check.Circuit(c)
-			fmt.Print(rep.String())
-			if rep.HasErrors() {
-				failed = true
-			}
-			fmt.Printf("%-8s %d diagnostics, %d errors\n",
-				name, len(rep.Diags), len(rep.Errors()))
-		}
-		if failed {
-			os.Exit(1)
-		}
-		return
+	if *doCheck || *doAudit {
+		os.Exit(preflight(subset, *scale, *seed, *doAudit, os.Stdout, os.Stderr))
 	}
 
 	run := func(name string, f func() error) {

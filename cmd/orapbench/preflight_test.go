@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The generated suite must pass the structural preflight cleanly at the
+// default table scale, and an unknown circuit name must be an internal
+// failure, not a finding.
+func TestPreflightCheckExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := preflight([]string{"s38417", "b20"}, 0.05, 2020, false, &stdout, &stderr)
+	if code != exitClean {
+		t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, exitClean, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "0 errors") {
+		t.Fatalf("missing per-circuit summary:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := preflight([]string{"nosuch"}, 0.05, 2020, false, &stdout, &stderr); code != exitInternal {
+		t.Fatalf("unknown circuit: exit %d, want %d", code, exitInternal)
+	}
+}
+
+// The audit leg runs the Table I lock + OraP pairing: no error-severity
+// findings, full effective key entropy, and weighted locking's control
+// cones stay below warning severity so the leg reports clean.
+func TestPreflightAuditCleanOnGeneratedSuite(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := preflight([]string{"s38417", "b20"}, 0.05, 2020, true, &stdout, &stderr)
+	if code == exitErrors || code == exitInternal {
+		t.Fatalf("audit preflight exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "audit:") || !strings.Contains(out, "entropy") {
+		t.Fatalf("missing audit summary lines:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "audit:") {
+			continue
+		}
+		if strings.Contains(line, "netlist") && !strings.Contains(line, "netlist 0E") {
+			t.Errorf("netlist audit errors in: %s", line)
+		}
+		if strings.Contains(line, "oracle") && !strings.Contains(line, "oracle 0E") {
+			t.Errorf("oracle audit errors in: %s", line)
+		}
+	}
+}

@@ -34,6 +34,13 @@ const (
 	// on testing.Short, because the -race CI leg runs with -short and
 	// would silently skip exactly the tests the race detector is for.
 	RuleShortRace = "shortrace"
+	// RuleNoSecret: internal/ packages must not pass raw key material
+	// ([]bool values with key-like names, or gf2.Vec values) to the fmt
+	// print family; keys reach logs only through internal/redact, which
+	// emits a width + fingerprint instead of the bits. fmt.Errorf is
+	// exempt: error values carry key detail up to the caller, they are
+	// not output.
+	RuleNoSecret = "nosecret"
 )
 
 // Finding is one rule violation at one source position.
@@ -189,6 +196,7 @@ func (v *vetter) load(path string) (*vetPkg, error) {
 		return p, p.err
 	}
 	p.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
@@ -215,6 +223,7 @@ func (v *vetter) vetPackage(p *vetPkg) {
 		if inInternal {
 			v.ruleNoRand(f)
 			v.ruleNoWallTime(p, f)
+			v.ruleNoSecret(p, f)
 		}
 		v.ruleCloneRelease(p, f)
 		v.ruleIRMutate(p, f)
@@ -357,6 +366,91 @@ func (v *vetter) programField(p *vetPkg, irPath string, e ast.Expr) (string, boo
 		return v.programField(p, irPath, e.X)
 	}
 	return "", false
+}
+
+// printFamily is the fmt output surface covered by nosecret. fmt.Errorf
+// is deliberately absent.
+var printFamily = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Sprint": true, "fmt.Sprintf": true, "fmt.Sprintln": true,
+}
+
+// ruleNoSecret flags fmt print-family calls in internal/ packages whose
+// arguments are raw key material: values of static type []bool whose
+// base identifier names key bits, or values of the gf2.Vec bit-vector
+// type. internal/redact is the sanctioned way to format either.
+func (v *vetter) ruleNoSecret(p *vetPkg, f *ast.File) {
+	if p.path == v.modPath+"/internal/redact" {
+		return // the redacting formatter's own package
+	}
+	gf2Path := v.modPath + "/internal/gf2"
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+		if !ok || !printFamily[fn.FullName()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			tv, ok := p.info.Types[arg]
+			if !ok {
+				continue
+			}
+			name := baseName(arg)
+			switch {
+			case isGF2Vec(tv.Type, gf2Path):
+				v.report(arg.Pos(), RuleNoSecret,
+					"%s passes gf2.Vec %q; format it with internal/redact.Vec", fn.FullName(), name)
+			case isBoolSlice(tv.Type) && strings.Contains(strings.ToLower(name), "key"):
+				v.report(arg.Pos(), RuleNoSecret,
+					"%s passes raw key bits %q; format them with internal/redact.Key", fn.FullName(), name)
+			}
+		}
+		return true
+	})
+}
+
+// baseName digs out the identifier an argument expression reads from,
+// for the key-naming heuristic ("" when there is none, e.g. a call
+// result).
+func baseName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return baseName(e.X)
+	case *ast.ParenExpr:
+		return baseName(e.X)
+	case *ast.StarExpr:
+		return baseName(e.X)
+	}
+	return ""
+}
+
+func isBoolSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isGF2Vec(t types.Type, gf2Path string) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == gf2Path && named.Obj().Name() == "Vec"
 }
 
 // ruleShortRace flags test functions that both spawn goroutines and gate

@@ -45,11 +45,11 @@ func one(t *testing.T, rule, ident string) Finding {
 
 func TestFixtureFindingCount(t *testing.T) {
 	fs := fixture(t)
-	if len(fs) != 7 {
+	if len(fs) != 9 {
 		for _, f := range fs {
 			t.Log(f)
 		}
-		t.Fatalf("fixture produced %d findings, want 7", len(fs))
+		t.Fatalf("fixture produced %d findings, want 9", len(fs))
 	}
 	for _, f := range fs {
 		if !strings.Contains(f.Pos.Filename, filepath.Join("internal", "bad")) {
@@ -92,6 +92,20 @@ func TestShortRaceRule(t *testing.T) {
 	f := one(t, RuleShortRace, "TestSpawnSkipsShort")
 	if !strings.HasSuffix(f.Pos.Filename, "bad_test.go") {
 		t.Errorf("shortrace in %s, want bad_test.go", f.Pos.Filename)
+	}
+}
+
+func TestNoSecretRule(t *testing.T) {
+	bits := one(t, RuleNoSecret, "raw key bits")
+	vec := one(t, RuleNoSecret, "gf2.Vec")
+	if !strings.HasSuffix(bits.Pos.Filename, "secret.go") || bits.Pos.Line != 12 {
+		t.Errorf("nosecret []bool case at %s:%d, want secret.go:12", bits.Pos.Filename, bits.Pos.Line)
+	}
+	if vec.Pos.Line != 16 {
+		t.Errorf("nosecret gf2.Vec case at line %d, want 16", vec.Pos.Line)
+	}
+	if !strings.Contains(bits.Msg, "fmt.Println") || !strings.Contains(vec.Msg, "fmt.Printf") {
+		t.Errorf("nosecret messages missing the offending call: %q / %q", bits.Msg, vec.Msg)
 	}
 }
 

@@ -1,13 +1,15 @@
 // Command orapvet enforces this repository's cross-package invariants —
 // the properties the compiler cannot check but the experiments depend
 // on. It typechecks ./internal/... and ./cmd/... with go/types and
-// applies five rules:
+// applies six rules:
 //
 //	norand        no math/rand in internal/ (use internal/rng)
 //	nowalltime    no time.Now / time.Since in internal/
 //	clonerelease  sim.Parallel.Clone paired with Release per function
 //	irmutate      no ir.Program field writes outside internal/ir
 //	shortrace     goroutine-spawning tests must not skip under -short
+//	nosecret      no fmt-printing of raw key bits or gf2.Vec values in
+//	              internal/ (format through internal/redact)
 //
 // Usage:
 //

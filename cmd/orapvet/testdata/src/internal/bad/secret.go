@@ -1,0 +1,17 @@
+// nosecret firing cases, in their own file so the line-pinned findings
+// in bad.go stay put.
+package bad
+
+import (
+	"fmt"
+
+	"vetfixture/internal/gf2"
+)
+
+func DumpKey(key []bool) {
+	fmt.Println(key)
+}
+
+func DumpSeed(seed gf2.Vec) {
+	fmt.Printf("seed=%v\n", seed)
+}

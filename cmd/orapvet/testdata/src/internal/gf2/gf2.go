@@ -1,0 +1,10 @@
+// Package gf2 mirrors the real module's dense bit-vector type so the
+// nosecret rule can be exercised against the fixture.
+package gf2
+
+type Vec struct {
+	bits []uint64
+	n    int
+}
+
+func (v Vec) Len() int { return v.n }

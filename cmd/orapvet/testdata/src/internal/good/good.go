@@ -5,8 +5,10 @@
 package good
 
 import (
+	"fmt"
 	"time"
 
+	"vetfixture/internal/gf2"
 	"vetfixture/internal/ir"
 	"vetfixture/internal/sim"
 )
@@ -31,3 +33,12 @@ func NotAProgram() string {
 }
 
 func Budget(d time.Duration) time.Duration { return 2 * d }
+
+// The nosecret rule must accept: redacted formatting, error wrapping
+// via fmt.Errorf, and derived scalars of key vectors.
+func DescribeKey(key []bool, seed gf2.Vec) (string, error) {
+	if len(key) == 0 {
+		return "", fmt.Errorf("empty key %v (seed %v)", key, seed)
+	}
+	return fmt.Sprintf("key of %d bits, seed of %d", len(key), seed.Len()), nil
+}

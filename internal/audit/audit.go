@@ -1,0 +1,303 @@
+// Package audit is the security static analyzer: it asks whether a
+// locked (and possibly OraP-protected) design leaks its key through the
+// netlist or through the oracle path, and answers with typed findings
+// that carry a rule ID, a severity, the offending gates or key bits and
+// a reference to the attack literature that exploits the weakness.
+//
+// Where internal/check guards *structural* soundness (cycles, undriven
+// nets, arity), audit guards *security*: the topology-guided attack
+// (Zhang et al., arXiv:2006.05930) locates key gates by their local
+// structure, and resynthesis-based attacks (Almeida et al.,
+// arXiv:2301.04400) strip key logic that constant propagation can
+// remove — both without ever touching an oracle. A configuration that
+// fails the audit is broken before the first SAT query, so the analyzer
+// runs as a preflight in orapbench and as a post-construction assertion
+// in the lock and orap tests.
+//
+// Netlist rules (Analyze/Circuit):
+//
+//   - key-removable: per-key-bit constant propagation under both key
+//     values. A key bit no primary output depends on is dead weight a
+//     resynthesis pass strips (error; warning when the bit drives no
+//     gate at all, mirroring check's dead-key-material policy), and a
+//     gate that goes constant while a key-dependent signal feeds it
+//     absorbs — and thereby removes — that key dependence (warning).
+//   - key-fingerprint: key gates identifiable from local structure —
+//     an XOR/XNOR spliced directly behind a key input (EPIC-style,
+//     warning), a point-function comparator against primary inputs
+//     (SARLock/Anti-SAT/TTLock-style, warning), or a weighted-locking
+//     control cone (info). Each finding reports its anonymity set: how
+//     many gates in the circuit share the fingerprint shape.
+//   - low-corruptibility: a key bit whose fanout cone covers fewer
+//     primary outputs than a threshold; a wrong guess at that bit is
+//     almost never observed, which is what approximate attacks
+//     (AppSAT) exploit. Warning.
+//
+// Oracle-path rules (Oracle/ProbeChip):
+//
+//   - oracle-unprotected: a conventional scan configuration — the key
+//     register survives test mode and the whole oracle-guided attack
+//     class applies. Error.
+//   - key-entropy: the GF(2) rank of the memory-seed transfer matrix is
+//     the number of key-register states reachable from tamper-proof
+//     memory; rank below the nominal LFSR width shrinks the effective
+//     keyspace accordingly (the scenario-(d) symbolic analysis run from
+//     the defender's side). Error.
+//   - zero-key: the stored key sequence unlocks the basic scheme to the
+//     all-zero state — indistinguishable from a cleared register, so
+//     the chip answers correctly in test mode and the protection is
+//     void. Error.
+//   - resp-taps: response-driven reseeding points sharing a flip-flop
+//     tap; correlated injections shrink the scenario-(e) search space.
+//     Warning.
+//   - scan-layout: key cells bunched in the scan chains, cheapening the
+//     scenario-(b) bypass-mux Trojan the Section III interleaving
+//     countermeasure defends against. Warning.
+//   - self-clear: a behavioural probe — after a rising scan-enable
+//     edge the key register must read back all-zero through the scan
+//     chain; a chip where it does not has the scenario-(a)/(b) reset
+//     suppression in place. Error.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"orap/internal/check"
+	"orap/internal/ir"
+	"orap/internal/netlist"
+)
+
+// Rule IDs, in catalog order.
+const (
+	// RuleKeyRemovable: key logic that constant propagation removes —
+	// an inert key bit (error; warning when it drives nothing) or a
+	// gate that absorbs key dependence into a constant (warning).
+	RuleKeyRemovable = "key-removable"
+	// RuleKeyFingerprint: a key gate identifiable by local structure.
+	// Warning for EPIC-style XOR splices and point-function
+	// comparators, info for weighted control cones.
+	RuleKeyFingerprint = "key-fingerprint"
+	// RuleLowCorruptibility: a key bit whose cone covers fewer primary
+	// outputs than the threshold. Warning.
+	RuleLowCorruptibility = "low-corruptibility"
+	// RuleOracleUnprotected: conventional scan exposes the unlocked
+	// core to the tester. Error.
+	RuleOracleUnprotected = "oracle-unprotected"
+	// RuleKeyEntropy: memory-seed transfer matrix rank below the
+	// nominal LFSR width. Error.
+	RuleKeyEntropy = "key-entropy"
+	// RuleZeroKey: the key sequence unlocks to the all-zero (cleared)
+	// state. Error.
+	RuleZeroKey = "zero-key"
+	// RuleRespTaps: response reseeding points share flip-flop taps.
+	// Warning.
+	RuleRespTaps = "resp-taps"
+	// RuleScanLayout: consecutive key cells in a scan chain. Warning.
+	RuleScanLayout = "scan-layout"
+	// RuleSelfClear: the key register survives a rising scan-enable
+	// edge. Error.
+	RuleSelfClear = "self-clear"
+)
+
+// Attack-literature references attached to findings.
+const (
+	// RefResynthesis: resynthesis-based attacks on logic locking,
+	// Almeida et al., arXiv:2301.04400.
+	RefResynthesis = "arXiv:2301.04400"
+	// RefTopology: topology-guided attack, Zhang et al.,
+	// arXiv:2006.05930.
+	RefTopology = "arXiv:2006.05930"
+	// RefOraP: the source paper (Kalligeros et al., DATE 2020) —
+	// Section II for the oracle-path reasoning, Section III for the
+	// Trojan scenarios (a)–(e) and their countermeasures.
+	RefOraP = "OraP DATE'20"
+)
+
+// Finding is one audit result: the rule that fired, its severity, the
+// key bit and/or node it is anchored to, and the attack-literature
+// reference explaining who exploits the weakness.
+type Finding struct {
+	Rule string
+	Sev  check.Severity
+	// KeyBit is the key-bit index the finding concerns, -1 when the
+	// finding is not tied to a specific key bit.
+	KeyBit int
+	// Node is the offending node ID, -1 when not tied to a node.
+	Node int
+	// Name and Line locate Node in the source netlist when known.
+	Name string
+	Line int
+	Msg  string
+	// Ref cites the attack paper or scheme section that exploits the
+	// flagged weakness.
+	Ref string
+}
+
+// String renders the finding as "line 12: error[key-removable]: message
+// (ref: arXiv:2301.04400)".
+func (f Finding) String() string {
+	var b strings.Builder
+	if f.Line > 0 {
+		fmt.Fprintf(&b, "line %d: ", f.Line)
+	}
+	fmt.Fprintf(&b, "%s[%s]: %s", f.Sev, f.Rule, f.Msg)
+	if f.Ref != "" {
+		fmt.Fprintf(&b, " (ref: %s)", f.Ref)
+	}
+	return b.String()
+}
+
+// Report is the outcome of auditing one design or chip configuration.
+type Report struct {
+	// Circuit is the audited circuit's name.
+	Circuit string
+	// Findings holds every finding, grouped by rule in catalog order.
+	Findings []Finding
+	// NominalEntropy and EffectiveEntropy are the LFSR width and the
+	// GF(2) rank of its memory-seed transfer matrix; both zero for
+	// netlist-only audits and for unprotected configurations.
+	NominalEntropy   int
+	EffectiveEntropy int
+}
+
+func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// HasErrors reports whether any finding has error severity.
+func (r *Report) HasErrors() bool {
+	for _, f := range r.Findings {
+		if f.Sev == check.Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Finding { return r.AtLeast(check.Error) }
+
+// AtLeast returns the findings with severity >= min.
+func (r *Report) AtLeast(min check.Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Sev >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ByRule returns the findings produced by the given rule.
+func (r *Report) ByRule(rule string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of error-, warning- and info-severity
+// findings.
+func (r *Report) Counts() (errors, warnings, infos int) {
+	for _, f := range r.Findings {
+		switch f.Sev {
+		case check.Error:
+			errors++
+		case check.Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// String renders the report one finding per line, prefixed with the
+// circuit name, followed by the entropy summary when one was computed.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s: %s\n", r.Circuit, f)
+	}
+	if r.NominalEntropy > 0 {
+		fmt.Fprintf(&b, "%s: effective key entropy %d of %d bits\n",
+			r.Circuit, r.EffectiveEntropy, r.NominalEntropy)
+	}
+	return b.String()
+}
+
+// Err converts the report's error-severity findings into a single
+// error, or nil when there are none.
+func (r *Report) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	first := errs[0]
+	if len(errs) == 1 {
+		return fmt.Errorf("audit: circuit %q: %s", r.Circuit, first)
+	}
+	return fmt.Errorf("audit: circuit %q: %s (and %d more errors)", r.Circuit, first, len(errs)-1)
+}
+
+// Options tunes the netlist analyses.
+type Options struct {
+	// MinCorruptPOs is the low-corruptibility threshold: a key bit
+	// whose fanout cone covers fewer primary outputs warns. 0 selects
+	// the default min(2, numPOs) — a bit confined to a single output
+	// of a multi-output circuit is flagged, single-output circuits
+	// never are.
+	MinCorruptPOs int
+}
+
+// Circuit audits a locked netlist with default options. The circuit
+// must pass check's structural rules (ir.Compile enforces them); the
+// returned error reports a structurally unsound circuit, not audit
+// findings — those are in the report.
+func Circuit(c *netlist.Circuit) (*Report, error) {
+	return Analyze(c, Options{})
+}
+
+// Analyze audits a locked netlist: key-gate removability, topology
+// fingerprints and static corruptibility bounds. Unlocked circuits
+// (no key inputs) produce an empty report.
+func Analyze(c *netlist.Circuit, opts Options) (*Report, error) {
+	prog, err := ir.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(prog, c, opts), nil
+}
+
+// AnalyzeProgram is Analyze for a circuit already compiled to its IR;
+// c supplies node names and source lines for the findings and must be
+// the circuit prog was compiled from.
+func AnalyzeProgram(prog *ir.Program, c *netlist.Circuit, opts Options) *Report {
+	rep := &Report{Circuit: c.Name}
+	if prog.NumKeys() == 0 {
+		return rep
+	}
+	inert := removability(prog, c, rep)
+	fingerprints(prog, c, rep)
+	corruptibility(prog, c, rep, opts, inert)
+	return rep
+}
+
+// finding builds a node-anchored finding, resolving name and line.
+func finding(c *netlist.Circuit, rule string, sev check.Severity, keyBit, id int, ref, format string, args ...interface{}) Finding {
+	f := Finding{
+		Rule:   rule,
+		Sev:    sev,
+		KeyBit: keyBit,
+		Node:   id,
+		Msg:    fmt.Sprintf(format, args...),
+		Ref:    ref,
+	}
+	if id >= 0 && id < c.NumNodes() {
+		f.Name = c.NameOf(id)
+		f.Line = c.SrcLine(id)
+	}
+	return f
+}

@@ -1,0 +1,51 @@
+package audit
+
+import (
+	"orap/internal/check"
+	"orap/internal/ir"
+	"orap/internal/netlist"
+)
+
+// The corruptibility bound is structural: the primary outputs inside a
+// key bit's transitive fanout cone are the only ones a wrong guess at
+// that bit can ever corrupt. A cone covering almost nothing is the
+// SARLock/Anti-SAT situation the paper criticizes — one output flips on
+// one input pattern — and exactly what approximate attacks (AppSAT,
+// Double DIP) exploit: a key that is wrong only in low-corruptibility
+// bits passes random testing. The bound is an over-approximation
+// (cone membership does not guarantee sensitization), so it flags
+// "provably at most", never "exactly".
+
+// corruptibility emits the low-corruptibility findings. Key bits the
+// removability pass already proved inert are skipped — a removable bit
+// corrupts nothing, and the removability finding is the sharper one.
+func corruptibility(p *ir.Program, c *netlist.Circuit, rep *Report, opts Options, inert []bool) {
+	nPO := p.NumOutputs()
+	thr := opts.MinCorruptPOs
+	if thr <= 0 {
+		// Default: flag a key bit confined to a single output of a
+		// multi-output circuit; never flag single-output circuits.
+		thr = 2
+		if nPO < thr {
+			thr = nPO
+		}
+	}
+	for kb, kid := range p.Keys {
+		if inert[kb] {
+			continue
+		}
+		cone := p.TransitiveFanout(int(kid))
+		covered := 0
+		for _, o := range p.POs {
+			if cone[o] {
+				covered++
+			}
+		}
+		if covered >= thr {
+			continue
+		}
+		rep.add(finding(c, RuleLowCorruptibility, check.Warning, kb, int(kid), RefOraP,
+			"key bit %d (%q) can corrupt at most %d of %d primary outputs (threshold %d); low output corruptibility is what approximate attacks exploit",
+			kb, c.NameOf(int(kid)), covered, nPO, thr))
+	}
+}

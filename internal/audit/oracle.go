@@ -1,0 +1,169 @@
+package audit
+
+import (
+	"fmt"
+
+	"orap/internal/check"
+	"orap/internal/gf2"
+	"orap/internal/lfsr"
+	"orap/internal/scan"
+)
+
+// Oracle audits the oracle path of a chip configuration statically:
+// protection level, effective key entropy of the reseeding schedule,
+// the stored key sequence, response-tap hygiene and — when a scan
+// layout is supplied (nil skips the placement rules) — the Section III
+// placement countermeasure. The returned error reports an invalid
+// configuration, not audit findings; those are in the report, and the
+// report's NominalEntropy/EffectiveEntropy fields carry the LFSR width
+// and the transfer-matrix rank for protected configurations.
+func Oracle(cfg scan.Config, lay *scan.Layout) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Circuit: cfg.Core.Name}
+	if cfg.Protection == scan.None {
+		rep.add(Finding{
+			Rule: RuleOracleUnprotected, Sev: check.Error, KeyBit: -1, Node: -1, Ref: RefOraP,
+			Msg: "conventional scan configuration: the key register survives test mode, so scan in - capture - scan out observes the unlocked core and the whole oracle-guided attack class applies",
+		})
+		return rep, nil
+	}
+
+	n := cfg.LFSR.N
+	rep.NominalEntropy = n
+	m, err := lfsr.MemTransferMatrix(cfg.LFSR, cfg.Schedule, cfg.MemInject)
+	if err != nil {
+		return nil, err
+	}
+	rank := m.Rank()
+	rep.EffectiveEntropy = rank
+	if rank < n {
+		rep.add(Finding{
+			Rule: RuleKeyEntropy, Sev: check.Error, KeyBit: -1, Node: -1, Ref: RefOraP,
+			Msg: fmt.Sprintf("memory-seed transfer matrix has GF(2) rank %d < %d: only 2^%d of the 2^%d key-register states are reachable from tamper-proof memory, and the scenario-(d) symbolic attack searches the smaller space", rank, n, rank, n),
+		})
+	}
+
+	if cfg.Protection == scan.OraPBasic && len(cfg.Seeds) > 0 {
+		// The final register state of the basic scheme is a pure linear
+		// image of the stored seeds; all-zero would equal the cleared
+		// register and void the protection.
+		w := len(cfg.MemInject)
+		stacked := gf2.NewVec(w * len(cfg.Seeds))
+		for i, s := range cfg.Seeds {
+			for j := 0; j < w; j++ {
+				if s.Bit(j) {
+					stacked.SetBit(i*w+j, true)
+				}
+			}
+		}
+		if m.MulVec(stacked).Weight() == 0 {
+			rep.add(Finding{
+				Rule: RuleZeroKey, Sev: check.Error, KeyBit: -1, Node: -1, Ref: RefOraP,
+				Msg: "the stored key sequence unlocks to the all-zero key register — indistinguishable from the cleared state, so the chip answers correctly in test mode and the protection is void",
+			})
+		}
+	}
+
+	if cfg.Protection == scan.OraPModified {
+		byTap := map[int][]int{}
+		for i, t := range cfg.RespTaps {
+			byTap[t] = append(byTap[t], cfg.RespInject[i])
+		}
+		for _, t := range sortedKeys(byTap) {
+			if pts := byTap[t]; len(pts) > 1 {
+				rep.add(Finding{
+					Rule: RuleRespTaps, Sev: check.Warning, KeyBit: -1, Node: -1, Ref: RefOraP,
+					Msg: fmt.Sprintf("response reseeding points %v all tap flip-flop %d; correlated injections shrink the space a scenario-(e) attacker must search", pts, t),
+				})
+			}
+		}
+	}
+
+	if lay != nil {
+		if err := lay.Validate(n, cfg.NumFFs()); err != nil {
+			return nil, err
+		}
+		layoutRules(lay, n, rep)
+	}
+	return rep, nil
+}
+
+// layoutRules checks the Section III placement countermeasure: key
+// cells interleaved with normal flip-flops, so the scenario-(b) bypass
+// Trojan pays one multiplexer per key cell rather than one per run.
+func layoutRules(lay *scan.Layout, keyCells int, rep *Report) {
+	muxes := lay.BypassMuxCount()
+	if muxes >= keyCells {
+		return
+	}
+	maxRun := 0
+	for _, r := range lay.KeyRunLengths() {
+		if r > maxRun {
+			maxRun = r
+		}
+	}
+	rep.add(Finding{
+		Rule: RuleScanLayout, Sev: check.Warning, KeyBit: -1, Node: -1, Ref: RefOraP,
+		Msg: fmt.Sprintf("scan layout bunches key cells (longest run %d): a scenario-(b) bypass Trojan splices them out with %d multiplexers; full interleaving forces %d", maxRun, muxes, keyCells),
+	})
+}
+
+// ProbeChip audits a built chip: the static Oracle rules plus a
+// behavioural self-clear probe — a nonzero pattern is scanned into the
+// key register and scan enable is pulsed; OraP's per-cell pulse
+// generators must clear every cell on the rising edge, so a nonzero
+// read-back means the reset is suppressed (Trojan scenarios (a)/(b)).
+//
+// The probe is destructive: it clears the key register and leaves the
+// chip locked with scan enable low. Re-run Unlock afterwards if the
+// chip is still needed as an oracle.
+func ProbeChip(ch *scan.Chip, lay *scan.Layout) (*Report, error) {
+	cfg := ch.Config()
+	rep, err := Oracle(cfg, lay)
+	if err != nil || cfg.Protection == scan.None {
+		return rep, err
+	}
+	pattern := make([]bool, cfg.Core.NumKeys())
+	for i := range pattern {
+		pattern[i] = true
+	}
+	ch.SetScanEnable(false)
+	ch.SetScanEnable(true)
+	if err := ch.ScanInKey(pattern); err != nil {
+		return nil, err
+	}
+	ch.SetScanEnable(false)
+	ch.SetScanEnable(true) // rising edge: the pulse generators must fire
+	got, err := ch.ScanOutKey()
+	ch.SetScanEnable(false)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range got {
+		if b {
+			rep.add(Finding{
+				Rule: RuleSelfClear, Sev: check.Error, KeyBit: -1, Node: -1, Ref: RefOraP,
+				Msg: "key register reads back nonzero after a rising scan-enable edge: the per-cell self-clear is suppressed (Trojan scenarios (a)/(b)) and the oracle leaks the unlocked circuit",
+			})
+			break
+		}
+	}
+	return rep, nil
+}
+
+// sortedKeys returns the map's keys in increasing order, for
+// deterministic finding order.
+func sortedKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package check
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The -Wall loading discipline: a warning-bearing but error-free file
+// must load into a usable circuit while surfacing every diagnostic on
+// the warn writer. The dangling fixture has a gate that drives nothing
+// — a warning, not an error.
+func TestLoadFileWallSurfacesWarnings(t *testing.T) {
+	path := filepath.Join("testdata", "dangling.bench")
+
+	var warn bytes.Buffer
+	c, err := LoadFile(path, &warn)
+	if err != nil {
+		t.Fatalf("warning-only file failed to load: %v", err)
+	}
+	if c == nil || c.NumInputs() != 2 || c.NumOutputs() != 1 {
+		t.Fatalf("loaded circuit has wrong shape: %+v", c)
+	}
+	out := warn.String()
+	if !strings.Contains(out, RuleDangling) || !strings.Contains(out, "dead") {
+		t.Fatalf("-Wall output missing the dangling-gate diagnostic:\n%s", out)
+	}
+
+	// Without a warn writer the same load is silent but still succeeds.
+	c2, err := LoadFile(path, nil)
+	if err != nil || c2 == nil {
+		t.Fatalf("nil-writer load: c=%v err=%v", c2, err)
+	}
+}
+
+// Error-severity diagnostics must fail the load whether or not a warn
+// writer is attached, and I/O failures come back as plain errors.
+func TestLoadFileErrorPaths(t *testing.T) {
+	var warn bytes.Buffer
+	if _, err := LoadFile(filepath.Join("testdata", "cycle.bench"), &warn); err == nil {
+		t.Fatal("cyclic netlist loaded successfully")
+	}
+	if _, err := LoadFile(filepath.Join("testdata", "no_such.bench"), nil); !os.IsNotExist(err) {
+		t.Fatalf("missing file: err = %v, want not-exist", err)
+	}
+}

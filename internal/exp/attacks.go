@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orap/internal/attack"
+	"orap/internal/audit"
 	"orap/internal/benchgen"
 	"orap/internal/lock"
 	"orap/internal/oracle"
@@ -29,6 +30,11 @@ type AttackRow struct {
 	Disagreement float64
 	Iterations   int
 	Queries      int
+	// Audit summarizes the static oracle-path audit of this protection
+	// level ("errors E / warnings W", plus effective/nominal key entropy
+	// for protected configurations) — the analyzer's verdict next to the
+	// attack outcome it predicts.
+	Audit string
 	// Note carries failure detail (e.g. inconsistent observations).
 	Note string
 }
@@ -121,7 +127,20 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		a    attackFn
 	}
 	var cells []cell
+	auditCol := make(map[scan.Protection]string)
 	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic} {
+		// The audit column is per protection level, not per attack: run the
+		// static analyzer once on the same configuration the cells rebuild.
+		cfg, err := orap.Protect(l.Circuit, l.Key, scaled.Pins, scaled.PinOuts, prot, orap.Options{
+			Rand: rng.NewNamed(opts.Seed, "attacks/orap"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		auditCol[prot], err = auditSummary(cfg)
+		if err != nil {
+			return nil, err
+		}
 		for _, a := range attacks {
 			cells = append(cells, cell{prot, a})
 		}
@@ -133,7 +152,7 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		if err != nil {
 			return err
 		}
-		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1}
+		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1, Audit: auditCol[prot]}
 		res, err := a.run(o, opts.Seed)
 		if err != nil {
 			row.Note = err.Error()
@@ -173,6 +192,22 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 	return rows, nil
 }
 
+// auditSummary condenses the oracle-path audit of a configuration into
+// a table cell: error/warning counts, and effective vs nominal key
+// entropy when the configuration carries an LFSR register.
+func auditSummary(cfg scan.Config) (string, error) {
+	rep, err := audit.Oracle(cfg, nil)
+	if err != nil {
+		return "", err
+	}
+	errs, warns, _ := rep.Counts()
+	s := fmt.Sprintf("%dE/%dW", errs, warns)
+	if rep.NominalEntropy > 0 {
+		s += fmt.Sprintf(" %d/%db", rep.EffectiveEntropy, rep.NominalEntropy)
+	}
+	return s, nil
+}
+
 // newScanOracle builds a fresh activated chip for the locked circuit and
 // wraps it in the scan-protocol oracle.
 func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) (oracle.Oracle, error) {
@@ -194,7 +229,7 @@ func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, 
 
 // FormatAttackStudy renders the attack comparison.
 func FormatAttackStudy(rows []AttackRow) string {
-	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Note"}
+	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Audit", "Note"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -205,6 +240,7 @@ func FormatAttackStudy(rows []AttackRow) string {
 			fmt.Sprintf("%.3f", r.Disagreement),
 			fmt.Sprint(r.Iterations),
 			fmt.Sprint(r.Queries),
+			r.Audit,
 			r.Note,
 		})
 	}

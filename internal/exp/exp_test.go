@@ -132,6 +132,11 @@ func TestAttackStudyShape(t *testing.T) {
 			if !r.KeyCorrect {
 				t.Errorf("%s against the unprotected oracle failed (disagreement %.3f, note %q)", r.Attack, r.Disagreement, r.Note)
 			}
+			// The audit column must predict the outcome: an unprotected
+			// oracle is an error-severity finding.
+			if !strings.HasPrefix(r.Audit, "1E") {
+				t.Errorf("%s/none: audit column %q, want an error-severity verdict", r.Attack, r.Audit)
+			}
 		case "orap-basic":
 			if r.KeyCorrect {
 				t.Errorf("%s against the OraP oracle recovered a correct key — the protection is broken", r.Attack)
@@ -139,7 +144,13 @@ func TestAttackStudyShape(t *testing.T) {
 			if r.Note == "" && r.Disagreement == 0 {
 				t.Errorf("%s against OraP reports zero disagreement", r.Attack)
 			}
+			if !strings.HasPrefix(r.Audit, "0E") || !strings.Contains(r.Audit, "b") {
+				t.Errorf("%s/orap-basic: audit column %q, want clean with an entropy figure", r.Attack, r.Audit)
+			}
 		}
+	}
+	if text := FormatAttackStudy(rows); !strings.Contains(text, "Audit") {
+		t.Fatalf("formatted study missing the audit column:\n%s", text)
 	}
 }
 

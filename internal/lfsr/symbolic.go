@@ -192,6 +192,39 @@ func TransferMatrix(cfg Config, sc Schedule) (*gf2.Matrix, error) {
 	return sym.Matrix(), nil
 }
 
+// MemTransferMatrix computes the linear map from memory-seed bits to the
+// final LFSR state for a schedule where injection happens on seeded cycles
+// only at the given positions (indices into cfg.Inject) — the memory-driven
+// subset of the reseeding points in the OraP schemes. The returned matrix M
+// satisfies finalState = M · seeds with seed i occupying variable indices
+// [i·w, (i+1)·w) for w = len(memInject). Its GF(2) rank is the effective
+// key entropy of the schedule: rank < cfg.N means some register states are
+// unreachable from memory, shrinking the key space an attacker must search.
+func MemTransferMatrix(cfg Config, sc Schedule, memInject []int) (*gf2.Matrix, error) {
+	w := len(memInject)
+	sym, err := NewSymbolic(cfg, w*sc.NumSeeds())
+	if err != nil {
+		return nil, err
+	}
+	full := make([]int, len(cfg.Inject))
+	for i, fr := range sc.FreeRunAfter {
+		for j := range full {
+			full[j] = -1
+		}
+		for j, pos := range memInject {
+			if pos < 0 || pos >= len(cfg.Inject) {
+				return nil, fmt.Errorf("lfsr: memInject position %d out of range (have %d injection points)", pos, len(cfg.Inject))
+			}
+			full[pos] = i*w + j
+		}
+		if err := sym.StepVars(full); err != nil {
+			return nil, err
+		}
+		sym.FreeRun(fr)
+	}
+	return sym.Matrix(), nil
+}
+
 // RunSchedule feeds the given seeds through a concrete LFSR following the
 // schedule and returns the final state. len(seeds) must equal sc.NumSeeds()
 // and every seed must have cfg.SeedWidth() bits.

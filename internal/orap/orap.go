@@ -133,31 +133,6 @@ func lfsrConfig(n int, opts Options) lfsr.Config {
 	}
 }
 
-// memTransferMatrix computes the linear map from memory-seed bits to the
-// final LFSR state for a schedule where memory injection happens on seeded
-// cycles at the given inject positions (indices into cfg.Inject).
-func memTransferMatrix(cfg lfsr.Config, sc lfsr.Schedule, memInject []int) (*gf2.Matrix, error) {
-	w := len(memInject)
-	sym, err := lfsr.NewSymbolic(cfg, w*sc.NumSeeds())
-	if err != nil {
-		return nil, err
-	}
-	full := make([]int, len(cfg.Inject))
-	for i, fr := range sc.FreeRunAfter {
-		for j := range full {
-			full[j] = -1
-		}
-		for j, pos := range memInject {
-			full[pos] = i*w + j
-		}
-		if err := sym.StepVars(full); err != nil {
-			return nil, err
-		}
-		sym.FreeRun(fr)
-	}
-	return sym.Matrix(), nil
-}
-
 // growSchedule finds a schedule whose memory transfer matrix has full
 // rank n, starting from opts.Seeds (or the minimum implied by widths).
 // When the requested free-run count aliases with the injection spacing
@@ -173,7 +148,7 @@ func growSchedule(cfg lfsr.Config, memInject []int, n int, opts Options) (lfsr.S
 	for _, freeRun := range []int{opts.FreeRun, opts.FreeRun + 1, opts.FreeRun + 2} {
 		for seeds := minSeeds; seeds <= 8*((n+w-1)/w)+8; seeds++ {
 			sc := lfsr.UniformSchedule(seeds, freeRun)
-			m, err := memTransferMatrix(cfg, sc, memInject)
+			m, err := lfsr.MemTransferMatrix(cfg, sc, memInject)
 			if err != nil {
 				return lfsr.Schedule{}, nil, err
 			}

@@ -1,0 +1,38 @@
+// Package redact formats secret key material for logs and error
+// messages without revealing it.
+//
+// The repository's vet layer (cmd/orapvet, rule "nosecret") forbids
+// printing raw key vectors from internal packages: a key that leaks into
+// a log line, a benchmark table or a test transcript defeats the locking
+// scheme as surely as a broken oracle. Internal code that needs to talk
+// about a key goes through this package, which renders only the width
+// and a short non-invertible fingerprint — enough to tell two keys
+// apart in a trace, useless for recovering either.
+package redact
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"orap/internal/gf2"
+)
+
+// Key renders a key vector as "key[width=N fp=xxxxxxxx]": the width and
+// a 32-bit FNV-1a fingerprint of the bits. The fingerprint is stable
+// across runs (no per-process seed), so traces stay comparable, and it
+// is not invertible beyond brute force over the keyspace — which is
+// exactly the work factor the locking scheme already assumes.
+func Key(key []bool) string {
+	h := fnv.New32a()
+	buf := make([]byte, (len(key)+7)/8)
+	for i, b := range key {
+		if b {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	h.Write(buf)
+	return fmt.Sprintf("key[width=%d fp=%08x]", len(key), h.Sum32())
+}
+
+// Vec is Key for gf2 vectors.
+func Vec(v gf2.Vec) string { return Key(v.Bools()) }
