@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet orapvet audit fmt build test race bench bench-parallel ci
+.PHONY: all vet orapvet audit fmt build test race bench bench-parallel bench-smoke ci
 
 all: vet build test
 
@@ -34,7 +34,9 @@ test:
 # Whole-repo race leg. -short skips the 2e6-draw RNG disjointness scan,
 # which is slow under the race runtime and single-goroutine anyway; the
 # orapvet shortrace rule guarantees no goroutine-spawning test hides
-# behind the same gate.
+# behind the same gate. `go test` always executes the checked-in fuzz
+# seed corpora (internal/sat's FuzzSolver/FuzzParseDIMACS included), so
+# this leg also replays the solver crashers under the race detector.
 race:
 	$(GO) test -race -short ./...
 
@@ -47,4 +49,10 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'Serial|Parallel' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'CloneRelease|NewParallelNoPool' -benchmem ./internal/sim
 
-ci: vet fmt orapvet audit build test race
+# One-iteration compile-and-run pass over the SAT-engine benchmarks:
+# the legacy-vs-COI miter attack pair and the propagation microbench.
+# Catches benchmark bit-rot in CI without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate' -benchtime 1x ./internal/attack ./internal/sat
+
+ci: vet fmt orapvet audit build test race bench-smoke

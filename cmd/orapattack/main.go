@@ -12,21 +12,30 @@
 // Usage:
 //
 //	orapattack -locked c432_locked.bench -orig c432.bench -attack sat -oracle scan -protect basic
+//
+// With -dimacs <path> the command instead writes the SAT-attack miter for
+// the locked netlist as a DIMACS CNF file (input/key variable indices in
+// the header comments) for cross-checking against external solvers, and
+// exits without running an attack.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"orap/internal/attack"
 	"orap/internal/check"
+	"orap/internal/cnf"
 	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
 	"orap/internal/rng"
+	"orap/internal/sat"
 	"orap/internal/scan"
 )
 
@@ -41,6 +50,7 @@ func main() {
 		maxIter    = flag.Int("maxiter", 4096, "attack iteration budget")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		wall       = flag.Bool("Wall", false, "print warning- and info-level netlist diagnostics")
+		dimacsPath = flag.String("dimacs", "", "write the SAT-attack miter as DIMACS CNF to this path and exit (no attack run)")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *origPath == "" {
@@ -56,6 +66,12 @@ func main() {
 	orig := parse(*origPath, warn)
 	if orig.NumKeys() != 0 {
 		fatal(fmt.Errorf("original netlist %q has key inputs; pass the unlocked design", *origPath))
+	}
+
+	if *dimacsPath != "" {
+		fatal(dumpMiterDIMACS(locked, *dimacsPath))
+		fmt.Printf("wrote miter CNF for %s to %s\n", locked.Name, *dimacsPath)
+		return
 	}
 
 	var o oracle.Oracle
@@ -140,7 +156,14 @@ func main() {
 	fmt.Printf("converged:     %v\n", res.Converged)
 	fmt.Printf("iterations:    %d\n", res.Iterations)
 	fmt.Printf("oracle queries:%d\n", res.OracleQueries)
-	fmt.Printf("solver:        %d conflicts, %d decisions\n", res.SolverStats.Conflicts, res.SolverStats.Decisions)
+	st := res.SolverStats
+	fmt.Printf("solver:        %d conflicts, %d decisions, %d propagations (%d binary)\n",
+		st.Conflicts, st.Decisions, st.Propagations, st.BinPropagations)
+	fmt.Printf("learned:       %d clauses (%d glue, mean LBD %.2f, mean len %.1f), %d lits minimized away\n",
+		st.Learnt, st.GlueClauses(), st.MeanLBD(), st.MeanLearntLen(), st.MinimizedLits)
+	if st.Reductions > 0 {
+		fmt.Printf("reductions:    %d (removed %d learned clauses)\n", st.Reductions, st.RemovedClauses)
+	}
 	if res.Key == nil {
 		fmt.Println("no key recovered")
 		os.Exit(1)
@@ -154,6 +177,56 @@ func main() {
 		fatal(err)
 		fmt.Printf("disagreement:  %.1f%% of sampled inputs\n", 100*dis)
 	}
+}
+
+// dumpMiterDIMACS builds the cone-of-influence SAT-attack miter for the
+// locked circuit and writes it in DIMACS CNF, with header comments mapping
+// the shared primary inputs, the two key copies and the activation
+// variable to their 1-based DIMACS indices. External solvers can check the
+// base formula: it is satisfiable iff some input pattern distinguishes two
+// keys (solve under the unit assumption act=true; act=false disables the
+// disequality).
+func dumpMiterDIMACS(locked *netlist.Circuit, path string) error {
+	s := sat.New()
+	m, err := cnf.NewMiter(s, locked)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "c SAT-attack miter (cone-of-influence encoding) for circuit %q\n", locked.Name)
+	fmt.Fprintf(w, "c two key copies share the primary inputs; the clause guarded by act\n")
+	fmt.Fprintf(w, "c asserts that some key-reachable output differs between the copies.\n")
+	fmt.Fprintf(w, "c assume act (positive) to search for a distinguishing input;\n")
+	fmt.Fprintf(w, "c assume -act for a formula where the copies may agree everywhere.\n")
+	fmt.Fprintf(w, "c variables are 1-based DIMACS indices:\n")
+	fmt.Fprintf(w, "c act %d\n", int(m.Act)+1)
+	fmt.Fprintf(w, "c inputs %s\n", dimacsVars(m.PIVars))
+	fmt.Fprintf(w, "c key1 %s\n", dimacsVars(m.Key1))
+	fmt.Fprintf(w, "c key2 %s\n", dimacsVars(m.Key2))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := s.WriteDIMACS(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// dimacsVars renders a variable slice as space-separated 1-based indices.
+func dimacsVars(vars []sat.Var) string {
+	var b strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", int(v)+1)
+	}
+	return b.String()
 }
 
 func parse(path string, warn io.Writer) *netlist.Circuit {

@@ -76,6 +76,9 @@ type Outcome struct {
 	Fault   faultsim.Fault
 	Class   Class
 	Pattern []bool // inputs then keys; nil unless Detected by this call
+	// Solver carries the per-fault SAT effort (conflicts, propagations,
+	// learned-clause figures).
+	Solver sat.Stats
 }
 
 // Generate targets one fault and returns its outcome. It compiles the
@@ -101,13 +104,13 @@ func GenerateProgram(prog *ir.Program, f faultsim.Fault, opts Options) (Outcome,
 	}
 	ok, err := s.Solve()
 	if err == sat.ErrBudget {
-		return Outcome{Fault: f, Class: Aborted}, nil
+		return Outcome{Fault: f, Class: Aborted, Solver: s.Stats()}, nil
 	}
 	if err != nil {
 		return Outcome{}, err
 	}
 	if !ok {
-		return Outcome{Fault: f, Class: Redundant}, nil
+		return Outcome{Fault: f, Class: Redundant, Solver: s.Stats()}, nil
 	}
 	pattern := make([]bool, len(prog.Inputs))
 	for i, id := range prog.Inputs {
@@ -116,7 +119,7 @@ func GenerateProgram(prog *ir.Program, f faultsim.Fault, opts Options) (Outcome,
 		}
 		// Inputs outside the cone stay false; any value works.
 	}
-	return Outcome{Fault: f, Class: Detected, Pattern: pattern}, nil
+	return Outcome{Fault: f, Class: Detected, Pattern: pattern, Solver: s.Stats()}, nil
 }
 
 // coneEncoding carries the variable maps of the restricted good/faulty
@@ -247,6 +250,8 @@ type Summary struct {
 	// Patterns holds the generated test patterns (deduplicated runs may
 	// hold fewer than Detected).
 	Patterns [][]bool
+	// Solver aggregates the SAT effort across every targeted fault.
+	Solver sat.Stats
 }
 
 // Coverage returns the stuck-at fault coverage in percent: detected over
@@ -279,6 +284,7 @@ func Run(c *netlist.Circuit, fsim *faultsim.Simulator, randomResult faultsim.Res
 		if err != nil {
 			return sum, err
 		}
+		sum.Solver.Add(out.Solver)
 		switch out.Class {
 		case Redundant:
 			sum.Redundant++

@@ -1,0 +1,107 @@
+package attack
+
+import (
+	"testing"
+
+	"orap/internal/benchgen"
+	"orap/internal/cnf"
+	"orap/internal/lock"
+	"orap/internal/netlist"
+	"orap/internal/oracle"
+	"orap/internal/rng"
+)
+
+// benchLocked builds the shared benchmark fixture: a scaled b20-profile
+// circuit under weighted logic locking with an ideal combinational oracle.
+func benchLocked(tb testing.TB, scale float64, keyBits int) (*netlist.Circuit, *lock.Locked) {
+	tb.Helper()
+	prof, err := benchgen.ProfileByName("b20")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	circuit, err := benchgen.Generate(prof.Scale(scale), 2020)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l, err := lock.Weighted(circuit, lock.WeightedOptions{
+		KeyBits:      keyBits,
+		ControlWidth: 3,
+		KeyGates:     keyBits,
+		Rand:         rng.New(2020),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return circuit, l
+}
+
+func BenchmarkSATAttackLegacyMiter(b *testing.B) {
+	orig, l := benchLocked(b, 0.008, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := oracle.NewComb(orig, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := satWithMiter(l.Circuit, o, Budgets{}, cnf.NewMiterLegacy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("legacy-miter attack did not converge")
+		}
+	}
+}
+
+func BenchmarkSATAttackCOI(b *testing.B) {
+	orig, l := benchLocked(b, 0.008, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := oracle.NewComb(orig, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := satWithMiter(l.Circuit, o, Budgets{}, cnf.NewMiter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("COI-miter attack did not converge")
+		}
+	}
+}
+
+// TestSATAttackCOIMatchesLegacyVerdict pins the equivalence the benchmark
+// pair relies on: both encodings recover functionally correct keys on the
+// same locked instance.
+func TestSATAttackCOIMatchesLegacyVerdict(t *testing.T) {
+	orig, l := benchLocked(t, 0.008, 10)
+	oLegacy, err := oracle.NewComb(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := satWithMiter(l.Circuit, oLegacy, Budgets{}, cnf.NewMiterLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oCOI, err := oracle.NewComb(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coi, err := satWithMiter(l.Circuit, oCOI, Budgets{}, cnf.NewMiter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"legacy": legacy, "coi": coi} {
+		if !res.Converged {
+			t.Fatalf("%s attack did not converge", name)
+		}
+		ok, err := VerifyKey(l.Circuit, orig, res.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("%s attack recovered an incorrect key", name)
+		}
+	}
+}

@@ -63,7 +63,12 @@ func Bypass(locked *netlist.Circuit, o oracle.Oracle, chosenKey []bool, opts Byp
 	}
 	s := sat.New()
 	s.MaxConflicts = opts.MaxConflicts
-	m, err := cnf.NewMiter(s, locked)
+	// The legacy (two-full-copy) miter on purpose: the enumeration blocks
+	// complete input patterns and the patch table is keyed by them, so
+	// every primary input must be constrained by the encoding. The
+	// cone-of-influence miter leaves key-unreachable inputs free and would
+	// re-discover the same disagreement cone once per don't-care pattern.
+	m, err := cnf.NewMiterLegacy(s, locked)
 	if err != nil {
 		return nil, err
 	}

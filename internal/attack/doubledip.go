@@ -6,8 +6,17 @@ import (
 	"orap/internal/cnf"
 	"orap/internal/netlist"
 	"orap/internal/oracle"
+	"orap/internal/rng"
 	"orap/internal/sat"
+	"orap/internal/sim"
 )
+
+// doubleDIPSettleSamples is the number of deterministic random queries per
+// settlement round. Enough to catch a surviving wrong-key class on
+// traditional locking (which disagrees on a large input fraction) while a
+// point-function tail — wrong on ~1 of 2^n patterns — settles clean, so the
+// exponential-tail skip that motivates Double DIP is preserved.
+const doubleDIPSettleSamples = 32
 
 // DoubleDIP runs the Double-DIP attack: each iteration searches for an
 // input pattern that simultaneously distinguishes two *distinct* key pairs
@@ -31,7 +40,7 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	m2, err := newMiterShared(s, m1)
+	m2, err := cnf.NewMiterShared(s, m1)
 	if err != nil {
 		return nil, err
 	}
@@ -57,81 +66,103 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 
 	res := &Result{}
 	maxIter := b.iterations(10000)
-	record := func(x []bool) error {
-		y, err := o.Query(x)
-		if err != nil {
-			return err
-		}
+	record := func(x []bool, y []bool) error {
 		if err := m1.AddIOConstraint(x, y); err != nil {
 			return err
 		}
 		return m2.AddIOConstraint(x, y)
 	}
+	// Settlement validation evaluates candidate keys on the miter's
+	// compiled program; the random stream is fixed-seeded so the attack
+	// stays run-to-run and worker-count deterministic.
+	ev := sim.EvaluatorFor(m1.Prog)
+	settleRand := rng.NewNamed(0x2d1b, "attack/doubledip-settle")
+	settleRounds := 0
 	for {
-		if res.Iterations >= maxIter {
-			res.SolverStats = s.Stats()
-			return res, ErrIterationBudget
+		// Phase 1: drain 2-DIPs (both miters differ, pairs distinct).
+		for {
+			if res.Iterations >= maxIter {
+				res.SolverStats = s.Stats()
+				return res, ErrIterationBudget
+			}
+			satisfiable, err := s.Solve(m1.AssumeDiff(), m2.AssumeDiff(), sat.MkLit(actPair, false))
+			if err != nil {
+				res.SolverStats = s.Stats()
+				return res, err
+			}
+			if !satisfiable {
+				break // no 2-DIP left: settle with a consistent key
+			}
+			x := m1.ExtractInputs()
+			y, err := o.Query(x)
+			if err == nil {
+				err = record(x, y)
+			}
+			if err != nil {
+				res.SolverStats = s.Stats()
+				res.OracleQueries = o.Queries()
+				return res, err
+			}
+			res.Iterations++
 		}
-		// Phase 1: look for a 2-DIP (both miters differ, pairs distinct).
-		satisfiable, err := s.Solve(m1.AssumeDiff(), m2.AssumeDiff(), sat.MkLit(actPair, false))
+		// Phase 2: extract a consistent key and validate it on a sample of
+		// random queries. A wrong-key class that survives the 2-DIP loop on
+		// traditional locking (no second disjoint pair left to distinguish
+		// it) disagrees with the oracle on a large fraction of inputs and is
+		// caught here; each disagreement is reinforced as an IO constraint
+		// and the search resumes. Point-function tails settle clean.
+		satisfiable, err := s.Solve(m1.AssumeNoDiff(), m2.AssumeNoDiff(), sat.MkLit(actPair, true))
 		if err != nil {
-			res.SolverStats = s.Stats()
-			return res, err
-		}
-		if !satisfiable {
-			break // no 2-DIP left: settle with a consistent key
-		}
-		if err := record(m1.ExtractInputs()); err != nil {
 			res.SolverStats = s.Stats()
 			res.OracleQueries = o.Queries()
 			return res, err
 		}
-		res.Iterations++
+		if !satisfiable {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			return res, fmt.Errorf("attack: observations inconsistent with locked netlist (no candidate key)")
+		}
+		key := m1.ExtractKey1()
+		disagreements := 0
+		xr := make([]bool, locked.NumInputs())
+		for i := 0; i < doubleDIPSettleSamples; i++ {
+			settleRand.Bits(xr)
+			want, err := o.Query(xr)
+			if err != nil {
+				res.SolverStats = s.Stats()
+				res.OracleQueries = o.Queries()
+				return res, err
+			}
+			got, err := ev.Eval(xr, key)
+			if err != nil {
+				return res, err
+			}
+			diff := false
+			for j := range want {
+				if want[j] != got[j] {
+					diff = true
+					break
+				}
+			}
+			if diff {
+				disagreements++
+				if err := record(append([]bool(nil), xr...), want); err != nil {
+					return res, err
+				}
+			}
+		}
+		if disagreements == 0 {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			res.Key = key
+			res.Converged = true
+			return res, nil
+		}
+		settleRounds++
+		if settleRounds >= maxIter {
+			res.SolverStats = s.Stats()
+			res.OracleQueries = o.Queries()
+			return res, ErrIterationBudget
+		}
 	}
-	satisfiable, err := s.Solve(m1.AssumeNoDiff(), m2.AssumeNoDiff(), sat.MkLit(actPair, true))
-	res.SolverStats = s.Stats()
-	res.OracleQueries = o.Queries()
-	if err != nil {
-		return res, err
-	}
-	if !satisfiable {
-		return res, fmt.Errorf("attack: observations inconsistent with locked netlist (no candidate key)")
-	}
-	res.Key = m1.ExtractKey1()
-	res.Converged = true
-	return res, nil
-}
-
-// newMiterShared builds a second miter over base's compiled program whose
-// primary inputs reuse base's variables, for multi-miter formulations.
-func newMiterShared(s *sat.Solver, base *cnf.Miter) (*cnf.Miter, error) {
-	piVars := base.PIVars
-	a, err := cnf.EncodeProgram(s, base.Prog, cnf.Options{PIVars: piVars})
-	if err != nil {
-		return nil, err
-	}
-	bb, err := cnf.EncodeProgram(s, base.Prog, cnf.Options{PIVars: piVars})
-	if err != nil {
-		return nil, err
-	}
-	m := &cnf.Miter{
-		S:       s,
-		Circuit: base.Circuit,
-		Prog:    base.Prog,
-		PIVars:  piVars,
-		Key1:    a.KeyVars,
-		Key2:    bb.KeyVars,
-		Out1:    a.POVars,
-		Out2:    bb.POVars,
-		Act:     s.NewVar(),
-	}
-	diffs := make([]sat.Lit, 0, len(a.POVars)+1)
-	diffs = append(diffs, sat.MkLit(m.Act, true))
-	for i := range a.POVars {
-		d := sat.MkLit(s.NewVar(), false)
-		addXor2(s, d, sat.MkLit(a.POVars[i], false), sat.MkLit(bb.POVars[i], false))
-		diffs = append(diffs, d)
-	}
-	s.AddClause(diffs...)
-	return m, nil
 }

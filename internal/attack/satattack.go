@@ -13,15 +13,25 @@ import (
 // distinguishing input pattern (DIP), query the oracle, and constrain both
 // key copies with the observation; when the miter becomes unsatisfiable,
 // every key consistent with the observations is functionally equivalent on
-// all inputs, and one such key is extracted.
+// all inputs, and one such key is extracted. The miter is the
+// cone-of-influence form (cnf.NewMiter), which duplicates only
+// key-reachable logic.
 func SAT(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, error) {
+	return satWithMiter(locked, o, b, cnf.NewMiter)
+}
+
+// satWithMiter is the SAT attack parameterized by the miter construction,
+// so the benchmark suite can pit the cone-of-influence encoding against
+// the legacy two-full-copy encoding on identical attack runs.
+func satWithMiter(locked *netlist.Circuit, o oracle.Oracle, b Budgets,
+	newMiter func(*sat.Solver, *netlist.Circuit) (*cnf.Miter, error)) (*Result, error) {
 	if o.NumInputs() != locked.NumInputs() || o.NumOutputs() != locked.NumOutputs() {
 		return nil, fmt.Errorf("attack: oracle shape %d/%d does not match circuit %d/%d",
 			o.NumInputs(), o.NumOutputs(), locked.NumInputs(), locked.NumOutputs())
 	}
 	s := sat.New()
 	s.MaxConflicts = b.MaxConflicts
-	m, err := cnf.NewMiter(s, locked)
+	m, err := newMiter(s, locked)
 	if err != nil {
 		return nil, err
 	}

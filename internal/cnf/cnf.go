@@ -239,6 +239,9 @@ func ConstrainBits(s *sat.Solver, vars []sat.Var, bits []bool) error {
 // Miter is the SAT-attack formulation: two copies of a locked circuit that
 // share primary inputs but have independent keys K1 and K2, with a
 // constraint that at least one output differs.
+//
+// NewMiter builds the cone-of-influence form (only key-reachable logic is
+// duplicated); NewMiterLegacy builds the classical two-full-copy form.
 type Miter struct {
 	S       *sat.Solver
 	Circuit *netlist.Circuit
@@ -248,13 +251,24 @@ type Miter struct {
 	PIVars []sat.Var
 	Key1   []sat.Var
 	Key2   []sat.Var
-	Out1   []sat.Var
-	Out2   []sat.Var
+	// Out1/Out2 hold the primary-output variables of the two key copies,
+	// full PO width. In a cone-of-influence miter a key-independent output
+	// is the same variable in both slices (the single shared encoding), or
+	// -1 when the output is outside the needed support and was never
+	// encoded.
+	Out1 []sat.Var
+	Out2 []sat.Var
 	// Act is an activation variable guarding the output-disequality
 	// clause: solve under assumption Act=true to search for a
 	// distinguishing input, and under Act=false to extract a key that is
 	// merely consistent with all recorded observations.
 	Act sat.Var
+
+	// Cone-of-influence state (nil/absent on legacy miters).
+	coi       *coiInfo
+	sharedVar []sat.Var // per node: shared support variable, -1 if not encoded
+	constTrue sat.Var   // lazily allocated const-true var for query folding
+	evalBuf   []bool    // per-node evaluation buffer for query folding
 }
 
 // AssumeDiff returns the assumption literal enabling the disequality.
@@ -264,9 +278,13 @@ func (m *Miter) AssumeDiff() sat.Lit { return sat.MkLit(m.Act, false) }
 // used for final key extraction.
 func (m *Miter) AssumeNoDiff() sat.Lit { return sat.MkLit(m.Act, true) }
 
-// NewMiter compiles the locked circuit c once, encodes the miter into a
-// fresh configuration on solver s and asserts output disequality.
-func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
+// NewMiterLegacy compiles the locked circuit c once, encodes the classical
+// miter — two complete copies of the circuit — into a fresh configuration
+// on solver s and asserts output disequality. Attacks that reason about
+// complete output vectors or need every output variable materialized (the
+// bypass attack's full-pattern enumeration) use this form; the SAT-attack
+// family uses the cone-of-influence NewMiter.
+func NewMiterLegacy(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
 	if c.NumKeys() == 0 {
 		return nil, fmt.Errorf("cnf: miter over circuit %q with no key inputs", c.Name)
 	}
@@ -283,14 +301,15 @@ func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
 		return nil, err
 	}
 	m := &Miter{
-		S:       s,
-		Circuit: c,
-		Prog:    prog,
-		PIVars:  a.PIVars,
-		Key1:    a.KeyVars,
-		Key2:    b.KeyVars,
-		Out1:    a.POVars,
-		Out2:    b.POVars,
+		S:         s,
+		Circuit:   c,
+		Prog:      prog,
+		PIVars:    a.PIVars,
+		Key1:      a.KeyVars,
+		Key2:      b.KeyVars,
+		Out1:      a.POVars,
+		Out2:      b.POVars,
+		constTrue: -1,
 	}
 	// diff_i ↔ out1_i ⊕ out2_i; assert act → OR(diff_i).
 	m.Act = s.NewVar()
@@ -306,10 +325,14 @@ func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
 }
 
 // AddIOConstraint records an oracle observation: for input pattern x with
-// oracle response y, both key copies must reproduce y on x. Two fresh
-// copies of the compiled program (with constant inputs) are encoded per
-// call.
+// oracle response y, both key copies must reproduce y on x. On a
+// cone-of-influence miter only the key cones are re-encoded (with the
+// concrete shared values folded in); a legacy miter encodes two fresh
+// complete copies of the compiled program with constant inputs.
 func (m *Miter) AddIOConstraint(x, y []bool) error {
+	if m.coi != nil {
+		return m.addIOConstraintCOI(x, y)
+	}
 	for _, keys := range [][]sat.Var{m.Key1, m.Key2} {
 		inst, err := EncodeProgram(m.S, m.Prog, Options{KeyVars: keys, FixedPIs: x})
 		if err != nil {

@@ -1,0 +1,333 @@
+package cnf
+
+import (
+	"fmt"
+
+	"orap/internal/ir"
+	"orap/internal/netlist"
+	"orap/internal/sat"
+)
+
+// coiInfo captures the key-dependence structure of a compiled program for
+// cone-of-influence miter encoding: which nodes can depend on the key
+// (cone), which nodes feed a key-reachable output at all (needed), and
+// which primary outputs are key-reachable (keyPOIdx).
+type coiInfo struct {
+	// cone marks nodes in the transitive fanout of any key input.
+	cone []bool
+	// needed marks nodes in the transitive fanin of the key-reachable
+	// outputs; nodes outside it are irrelevant to every miter query.
+	needed []bool
+	// keyPOIdx lists the indices (into Prog.POs) of the key-reachable
+	// primary outputs, in declaration order.
+	keyPOIdx []int
+}
+
+func newCOIInfo(prog *ir.Program) *coiInfo {
+	keys := make([]int, len(prog.Keys))
+	for i, id := range prog.Keys {
+		keys[i] = int(id)
+	}
+	info := &coiInfo{cone: prog.TransitiveFanout(keys...)}
+	var keyPOs []int
+	for i, id := range prog.POs {
+		if info.cone[id] {
+			info.keyPOIdx = append(info.keyPOIdx, i)
+			keyPOs = append(keyPOs, int(id))
+		}
+	}
+	if len(keyPOs) == 0 {
+		info.needed = make([]bool, prog.NumNodes())
+	} else {
+		info.needed = prog.TransitiveFanin(keyPOs...)
+	}
+	return info
+}
+
+// NewMiter compiles the locked circuit c once and encodes the SAT-attack
+// miter using cone-of-influence reduction: only gates in the transitive
+// fanout of the key inputs are duplicated per key copy, the shared fan-in
+// logic is encoded once and reused by both copies, and the output
+// disequality ranges over the key-reachable outputs only (outputs the key
+// cannot influence are equal by construction). The resulting formula is
+// equisatisfiable with the full two-copy miter on every attack query but
+// substantially smaller whenever the key logic touches a fraction of the
+// circuit. Use NewMiterLegacy for formulations that need both full copies
+// (e.g. the bypass attack's full-pattern enumeration).
+func NewMiter(s *sat.Solver, c *netlist.Circuit) (*Miter, error) {
+	if c.NumKeys() == 0 {
+		return nil, fmt.Errorf("cnf: miter over circuit %q with no key inputs", c.Name)
+	}
+	prog, err := ir.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	m := &Miter{
+		S:         s,
+		Circuit:   c,
+		Prog:      prog,
+		coi:       newCOIInfo(prog),
+		constTrue: -1,
+	}
+	// Primary inputs keep their full width — inputs outside the needed
+	// support stay unconstrained, which is sound: no encoded gate reads
+	// them, so any model value is as good as any other for DIP extraction.
+	m.PIVars = make([]sat.Var, prog.NumInputs())
+	for i := range m.PIVars {
+		m.PIVars[i] = s.NewVar()
+	}
+	m.Key1 = make([]sat.Var, prog.NumKeys())
+	m.Key2 = make([]sat.Var, prog.NumKeys())
+	for i := range m.Key1 {
+		m.Key1[i] = s.NewVar()
+	}
+	for i := range m.Key2 {
+		m.Key2[i] = s.NewVar()
+	}
+	if err := m.encodeShared(); err != nil {
+		return nil, err
+	}
+	if err := m.addConePair(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewMiterShared encodes a second miter over base's circuit that reuses
+// base's primary-input variables and shared fan-in encoding, adding only
+// two more key-cone copies with fresh key variables and its own activation
+// variable. This is the multi-miter formulation Double DIP uses; base must
+// be a cone-of-influence miter (from NewMiter).
+func NewMiterShared(s *sat.Solver, base *Miter) (*Miter, error) {
+	if base.coi == nil {
+		return nil, fmt.Errorf("cnf: NewMiterShared requires a cone-of-influence miter")
+	}
+	if s != base.S {
+		return nil, fmt.Errorf("cnf: NewMiterShared must target the base miter's solver")
+	}
+	m := &Miter{
+		S:         s,
+		Circuit:   base.Circuit,
+		Prog:      base.Prog,
+		coi:       base.coi,
+		sharedVar: base.sharedVar,
+		constTrue: -1,
+		PIVars:    base.PIVars,
+	}
+	m.Key1 = make([]sat.Var, base.Prog.NumKeys())
+	m.Key2 = make([]sat.Var, base.Prog.NumKeys())
+	for i := range m.Key1 {
+		m.Key1[i] = s.NewVar()
+	}
+	for i := range m.Key2 {
+		m.Key2[i] = s.NewVar()
+	}
+	if err := m.addConePair(base); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// encodeShared emits the key-independent support logic once: every needed
+// node outside the key cone gets a single variable reused by all copies.
+func (m *Miter) encodeShared() error {
+	prog, info := m.Prog, m.coi
+	m.sharedVar = make([]sat.Var, prog.NumNodes())
+	for i := range m.sharedVar {
+		m.sharedVar[i] = -1
+	}
+	for i, id := range prog.PIs {
+		m.sharedVar[id] = m.PIVars[i]
+	}
+	var fan []sat.Lit
+	for _, id32 := range prog.Order {
+		id := int(id32)
+		if !info.needed[id] || info.cone[id] || prog.Ops[id] == ir.OpInput {
+			continue
+		}
+		v := m.S.NewVar()
+		m.sharedVar[id] = v
+		fan = fan[:0]
+		for _, f := range prog.FaninSpan(id) {
+			// Fanin closure puts every fanin of a needed non-cone node in
+			// the shared set (the cone is fanout-closed).
+			fan = append(fan, sat.MkLit(m.sharedVar[f], false))
+		}
+		if err := EmitGate(m.S, prog.Ops[id], sat.MkLit(v, false), fan); err != nil {
+			return fmt.Errorf("cnf: shared node %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// encodeCone emits one copy of the needed key-cone gates, with shared
+// fanins resolved through shared (a per-node variable map) and key inputs
+// bound to keyVars. It returns the variables of the key-reachable outputs,
+// in keyPOIdx order.
+func (m *Miter) encodeCone(keyVars []sat.Var, shared []sat.Var) ([]sat.Var, error) {
+	prog, info := m.Prog, m.coi
+	copyVar := make([]sat.Var, prog.NumNodes())
+	for i := range copyVar {
+		copyVar[i] = -1
+	}
+	for i, id := range prog.Keys {
+		copyVar[id] = keyVars[i]
+	}
+	var fan []sat.Lit
+	for _, id32 := range prog.Order {
+		id := int(id32)
+		if !info.needed[id] || !info.cone[id] || prog.Ops[id] == ir.OpInput {
+			continue
+		}
+		v := m.S.NewVar()
+		copyVar[id] = v
+		fan = fan[:0]
+		for _, f := range prog.FaninSpan(id) {
+			if info.cone[f] {
+				fan = append(fan, sat.MkLit(copyVar[f], false))
+			} else {
+				fan = append(fan, sat.MkLit(shared[f], false))
+			}
+		}
+		if err := EmitGate(m.S, prog.Ops[id], sat.MkLit(v, false), fan); err != nil {
+			return nil, fmt.Errorf("cnf: cone node %d: %w", id, err)
+		}
+	}
+	outs := make([]sat.Var, len(info.keyPOIdx))
+	for i, poi := range info.keyPOIdx {
+		outs[i] = copyVar[prog.POs[poi]]
+	}
+	return outs, nil
+}
+
+// addConePair encodes the two key-cone copies of m (reading shared logic
+// from src, which is m itself for a base miter and the base for a shared
+// one), fills Out1/Out2 and asserts the activation-guarded disequality
+// over the key-reachable outputs.
+func (m *Miter) addConePair(src *Miter) error {
+	prog, info := m.Prog, m.coi
+	o1, err := m.encodeCone(m.Key1, src.sharedVar)
+	if err != nil {
+		return err
+	}
+	o2, err := m.encodeCone(m.Key2, src.sharedVar)
+	if err != nil {
+		return err
+	}
+	// Out1/Out2 keep full PO width: key-reachable outputs carry their
+	// per-copy variables, key-independent outputs share the single support
+	// variable when one was encoded and are -1 otherwise.
+	m.Out1 = make([]sat.Var, prog.NumOutputs())
+	m.Out2 = make([]sat.Var, prog.NumOutputs())
+	for i, id := range prog.POs {
+		m.Out1[i] = src.sharedVar[id]
+		m.Out2[i] = src.sharedVar[id]
+	}
+	for i, poi := range info.keyPOIdx {
+		m.Out1[poi] = o1[i]
+		m.Out2[poi] = o2[i]
+	}
+	m.Act = m.S.NewVar()
+	diffs := make([]sat.Lit, 0, len(o1)+1)
+	diffs = append(diffs, sat.MkLit(m.Act, true))
+	for i := range o1 {
+		d := sat.MkLit(m.S.NewVar(), false)
+		EmitXor2(m.S, d, sat.MkLit(o1[i], false), sat.MkLit(o2[i], false))
+		diffs = append(diffs, d)
+	}
+	// With no key-reachable output this collapses to a unit ¬Act: no input
+	// can distinguish any two keys, so AssumeDiff is immediately
+	// unsatisfiable — the same verdict the full miter reaches by search.
+	m.S.AddClause(diffs...)
+	return nil
+}
+
+// addIOConstraintCOI records an oracle observation on a cone-of-influence
+// miter. The key-independent logic is not re-encoded: one concrete
+// evaluation of the program under x fixes every shared node, the two
+// per-key cone copies are emitted with those constants folded in, and only
+// the key-reachable outputs are constrained to the oracle response. A
+// response bit that contradicts the circuit on a key-independent output
+// makes the formula unsatisfiable, exactly as the full encoding's unit
+// clauses would.
+func (m *Miter) addIOConstraintCOI(x, y []bool) error {
+	prog, info := m.Prog, m.coi
+	if len(x) != prog.NumInputs() {
+		return fmt.Errorf("cnf: %d input bits for %d inputs", len(x), prog.NumInputs())
+	}
+	if len(y) != prog.NumOutputs() {
+		return fmt.Errorf("cnf: %d output bits for %d outputs", len(y), prog.NumOutputs())
+	}
+	if m.evalBuf == nil {
+		m.evalBuf = make([]bool, prog.NumNodes())
+	}
+	vals := m.evalBuf
+	for i, id := range prog.PIs {
+		vals[id] = x[i]
+	}
+	// Key values are irrelevant to nodes outside the cone; zero them so
+	// the evaluation is well-defined.
+	for _, id := range prog.Keys {
+		vals[id] = false
+	}
+	prog.RunBools(vals)
+	for i, id := range prog.POs {
+		if !info.cone[id] && vals[id] != y[i] {
+			// The observation contradicts the key-independent logic: no key
+			// can explain it. Mark the formula unsatisfiable.
+			m.S.AddClause()
+			return nil
+		}
+	}
+	if m.constTrue < 0 {
+		m.constTrue = m.S.NewVar()
+		m.S.AddClause(sat.MkLit(m.constTrue, false))
+	}
+	for _, keys := range [][]sat.Var{m.Key1, m.Key2} {
+		if err := m.addConeQuery(keys, vals, y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addConeQuery emits one per-query cone copy under the given key
+// variables, folding the concrete shared-node values in as literals of the
+// constant-true variable, and pins the key-reachable outputs to y.
+func (m *Miter) addConeQuery(keyVars []sat.Var, vals []bool, y []bool) error {
+	prog, info := m.Prog, m.coi
+	copyVar := make([]sat.Var, prog.NumNodes())
+	for i := range copyVar {
+		copyVar[i] = -1
+	}
+	for i, id := range prog.Keys {
+		copyVar[id] = keyVars[i]
+	}
+	var fan []sat.Lit
+	for _, id32 := range prog.Order {
+		id := int(id32)
+		if !info.needed[id] || !info.cone[id] || prog.Ops[id] == ir.OpInput {
+			continue
+		}
+		v := m.S.NewVar()
+		copyVar[id] = v
+		fan = fan[:0]
+		for _, f := range prog.FaninSpan(id) {
+			if info.cone[f] {
+				fan = append(fan, sat.MkLit(copyVar[f], false))
+			} else {
+				// Constant fold: the solver's level-0 clause simplification
+				// drops false literals and discards satisfied clauses.
+				fan = append(fan, sat.MkLit(m.constTrue, !vals[f]))
+			}
+		}
+		if err := EmitGate(m.S, prog.Ops[id], sat.MkLit(v, false), fan); err != nil {
+			return fmt.Errorf("cnf: query cone node %d: %w", id, err)
+		}
+	}
+	for _, poi := range info.keyPOIdx {
+		v := copyVar[prog.POs[poi]]
+		m.S.AddClause(sat.MkLit(v, !y[poi]))
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"orap/internal/oracle"
 	"orap/internal/par"
 	"orap/internal/rng"
+	"orap/internal/sat"
 	"orap/internal/trojan"
 )
 
@@ -24,6 +25,10 @@ type SATScalingRow struct {
 	KeyBits    int
 	Iterations int
 	Converged  bool
+	// Solver carries the attack's total SAT effort: conflicts,
+	// propagations and the mean LBD of learned clauses, so the table shows
+	// where the solver spends its time as the key widens.
+	Solver sat.Stats
 }
 
 // SATScalingOptions configures the scaling study.
@@ -96,6 +101,9 @@ func SATScaling(opts SATScalingOptions) ([]SATScalingRow, error) {
 			} else {
 				return err
 			}
+			if res != nil {
+				row.Solver = res.SolverStats
+			}
 			perWidth[wi] = append(perWidth[wi], row)
 		}
 		return nil
@@ -110,13 +118,15 @@ func SATScaling(opts SATScalingOptions) ([]SATScalingRow, error) {
 	return rows, nil
 }
 
-// FormatSATScaling renders the scaling study.
+// FormatSATScaling renders the scaling study, including the solver-effort
+// columns (total conflicts and propagations, mean learned-clause LBD).
 func FormatSATScaling(rows []SATScalingRow) string {
-	header := []string{"Defense", "Key bits", "SAT iterations", "Converged"}
+	header := []string{"Defense", "Key bits", "SAT iterations", "Converged", "Conflicts", "Propagations", "Mean LBD"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
 			r.Defense, fmt.Sprint(r.KeyBits), fmt.Sprint(r.Iterations), fmt.Sprint(r.Converged),
+			fmt.Sprint(r.Solver.Conflicts), fmt.Sprint(r.Solver.Propagations), fmt.Sprintf("%.2f", r.Solver.MeanLBD()),
 		})
 	}
 	return FormatTable(header, cells)

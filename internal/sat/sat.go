@@ -1,12 +1,15 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT
-// solver in the MiniSat lineage: two-literal watching, first-UIP conflict
-// analysis, VSIDS variable activity, phase saving, Luby restarts and
-// activity-based learned-clause reduction.
+// solver in the MiniSat/Glucose lineage: two-literal watching with
+// blocking literals, a specialized binary-clause watch representation,
+// first-UIP conflict analysis with on-the-fly clause minimization, VSIDS
+// variable activity, phase saving, Luby restarts and LBD-tiered
+// learned-clause reduction.
 //
 // It is the engine behind the oracle-guided SAT attack of Subramanyan et
 // al. that the OraP paper defends against, and the solver is deliberately
 // self-contained (stdlib only) so the whole attack stack reproduces
-// offline.
+// offline. The solver is fully deterministic: the same clause/assumption
+// sequence produces the same models, conflicts and Stats on every run.
 package sat
 
 import "fmt"
@@ -66,29 +69,37 @@ func (b LBool) Not() LBool { return -b }
 type clause struct {
 	lits     []Lit
 	activity float64
+	lbd      int32
 	learnt   bool
 }
 
+// watcher is the long-clause (≥3 literals) watch entry. The blocking
+// literal lets propagation skip the clause without touching its memory
+// whenever the blocker is already satisfied.
 type watcher struct {
 	c       *clause
 	blocker Lit
 }
 
-// Stats carries solver counters, useful for the attack evaluations that
-// report solver effort.
-type Stats struct {
-	Decisions    int64
-	Propagations int64
-	Conflicts    int64
-	Restarts     int64
-	Learnt       int64
+// binWatch is the specialized binary-clause watch entry: when the watched
+// literal is falsified the only possible consequence is `other`, so
+// binary propagation reads nothing but the watcher itself. The clause
+// pointer is carried only as the reason for conflict analysis.
+type binWatch struct {
+	other Lit
+	c     *clause
 }
+
+// glueLBD is the LBD at or below which a learned clause is "glue":
+// reduceDB never evicts it (Glucose's core tier).
+const glueLBD = 2
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	clauses []*clause
-	learnts []*clause
-	watches [][]watcher // indexed by Lit
+	clauses    []*clause
+	learnts    []*clause
+	watches    [][]watcher  // indexed by Lit; long clauses only
+	binWatches [][]binWatch // indexed by Lit; binary clauses only
 
 	assigns  []LBool // per var
 	level    []int32
@@ -104,6 +115,8 @@ type Solver struct {
 
 	seen       []bool
 	analyzeBuf []Lit
+	levelMark  []int64 // per decision level, stamped by computeLBD
+	lbdStamp   int64
 
 	ok    bool
 	model []LBool
@@ -120,7 +133,7 @@ var ErrBudget = fmt.Errorf("sat: conflict budget exhausted")
 
 // New returns an empty solver.
 func New() *Solver {
-	s := &Solver{varInc: 1, ok: true}
+	s := &Solver{varInc: 1, ok: true, levelMark: make([]int64, 1)}
 	s.heap.s = s
 	return s
 }
@@ -141,6 +154,8 @@ func (s *Solver) NewVar() Var {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
+	s.levelMark = append(s.levelMark, 0)
 	s.heap.insert(v)
 	return v
 }
@@ -222,11 +237,29 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 }
 
 func (s *Solver) attach(c *clause) {
+	if len(c.lits) == 2 {
+		s.binWatches[c.lits[0].Not()] = append(s.binWatches[c.lits[0].Not()], binWatch{c.lits[1], c})
+		s.binWatches[c.lits[1].Not()] = append(s.binWatches[c.lits[1].Not()], binWatch{c.lits[0], c})
+		return
+	}
 	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
 	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
 }
 
 func (s *Solver) detach(c *clause) {
+	if len(c.lits) == 2 {
+		for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+			ws := s.binWatches[l]
+			for i := range ws {
+				if ws[i].c == c {
+					ws[i] = ws[len(ws)-1]
+					s.binWatches[l] = ws[:len(ws)-1]
+					break
+				}
+			}
+		}
+		return
+	}
 	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
 		ws := s.watches[l]
 		for i := range ws {
@@ -256,6 +289,18 @@ func (s *Solver) propagate() *clause {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
+		// Binary watchers first: the implied literal lives in the watch
+		// entry, so this pass never dereferences clause memory.
+		for _, w := range s.binWatches[p] {
+			switch s.valueLit(w.other) {
+			case False:
+				s.qhead = len(s.trail)
+				return w.c
+			case Undef:
+				s.stats.BinPropagations++
+				s.uncheckedEnqueue(w.other, w.c)
+			}
+		}
 		ws := s.watches[p]
 		j := 0
 		var confl *clause
@@ -324,9 +369,27 @@ func (s *Solver) claBump(c *clause) {
 	c.activity++
 }
 
+// computeLBD returns the literal block distance of the clause: the number
+// of distinct non-root decision levels among its literals (Glucose's
+// quality measure — low-LBD clauses connect few decision blocks and stay
+// useful across restarts).
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.lbdStamp++
+	var lbd int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv > 0 && s.levelMark[lv] != s.lbdStamp {
+			s.levelMark[lv] = s.lbdStamp
+			lbd++
+		}
+	}
+	return lbd
+}
+
 // analyze performs first-UIP conflict analysis and returns the learned
-// clause (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+// clause (with the asserting literal first), the backtrack level and the
+// clause's LBD.
+func (s *Solver) analyze(confl *clause) ([]Lit, int, int32) {
 	learnt := s.analyzeBuf[:0]
 	learnt = append(learnt, 0) // placeholder for asserting literal
 	counter := 0
@@ -337,11 +400,14 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		if confl.learnt {
 			s.claBump(confl)
 		}
-		start := 0
-		if p != -1 {
-			start = 1
-		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range confl.lits {
+			// Skip the asserted literal when walking a reason clause. The
+			// positional skip of lits[0] is not valid for binary reasons
+			// reached through binWatches, whose literal order is fixed at
+			// attach time.
+			if p != -1 && q.Var() == p.Var() {
+				continue
+			}
 			v := q.Var()
 			if !s.seen[v] && s.level[v] > 0 {
 				s.seen[v] = true
@@ -369,9 +435,10 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		confl = s.reason[v]
 	}
 
-	// Simple clause minimization: drop literals implied by the rest.
+	// On-the-fly clause minimization: drop literals implied by the rest.
 	// Clear seen flags of dropped literals too, or later conflicts would
 	// inherit stale marks.
+	before := len(learnt)
 	out := learnt[:1]
 	for _, l := range learnt[1:] {
 		if s.redundant(l) {
@@ -381,6 +448,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		}
 	}
 	learnt = out
+	s.stats.MinimizedLits += int64(before - len(learnt))
 
 	// Backtrack level: second-highest decision level in the clause.
 	btLevel := 0
@@ -394,13 +462,14 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		btLevel = int(s.level[learnt[1].Var()])
 	}
+	lbd := s.computeLBD(learnt)
 	for _, l := range learnt {
 		s.seen[l.Var()] = false
 	}
 	s.analyzeBuf = learnt
 	res := make([]Lit, len(learnt))
 	copy(res, learnt)
-	return res, btLevel
+	return res, btLevel, lbd
 }
 
 // redundant reports whether literal l in a learned clause is implied by a
@@ -429,7 +498,7 @@ func (s *Solver) backtrackTo(level int) {
 	bound := s.trailLim[level]
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
-		s.polarity[v] = s.assigns[v] == False
+		s.polarity[v] = s.assigns[v] == False // phase saving
 		s.assigns[v] = Undef
 		s.reason[v] = nil
 		s.heap.insertMaybe(v)
@@ -466,25 +535,46 @@ func luby(i int64) int64 {
 	return int64(1) << seq
 }
 
+// reduceDB evicts roughly half of the evictable learned clauses. The
+// policy is LBD-tiered, Glucose-style: binary clauses, glue clauses
+// (LBD ≤ 2) and clauses locked as reasons on the current trail are never
+// evicted; the rest are ranked by LBD (ties broken toward keeping the
+// more active clause) and the worse half is detached.
+//
+// Learned-clause sets smaller than four are left alone: median-selecting
+// on a near-empty candidate slice is meaningless and the clauses are
+// cheap to keep.
 func (s *Solver) reduceDB() {
-	// Sort learnt clauses by activity (simple selection by median split).
-	if len(s.learnts) < 100 {
+	if len(s.learnts) < 4 {
 		return
 	}
-	// Compute median activity.
-	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.activity
-	}
-	med := quickSelectMedian(acts)
-	kept := s.learnts[:0]
 	locked := func(c *clause) bool {
 		v := c.lits[0].Var()
 		return s.assigns[v] != Undef && s.reason[v] == c
 	}
-	removed := 0
+	evictable := func(c *clause) bool {
+		return len(c.lits) > 2 && c.lbd > glueLBD && !locked(c)
+	}
+	// Composite rank: LBD dominates, clause activity breaks ties (higher
+	// score = better eviction candidate). Activities are conflict counts,
+	// far below the tier width, so tiers never interleave.
+	score := func(c *clause) float64 {
+		return float64(c.lbd)*1e12 - c.activity
+	}
+	scores := make([]float64, 0, len(s.learnts))
 	for _, c := range s.learnts {
-		if len(c.lits) <= 2 || locked(c) || c.activity > med || removed*2 >= len(acts) {
+		if evictable(c) {
+			scores = append(scores, score(c))
+		}
+	}
+	if len(scores) < 4 {
+		return
+	}
+	med := quickSelectMedian(scores)
+	removed := 0
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !evictable(c) || score(c) < med || removed*2 >= len(scores) {
 			kept = append(kept, c)
 		} else {
 			s.detach(c)
@@ -492,9 +582,18 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = kept
+	if removed > 0 {
+		s.stats.Reductions++
+		s.stats.RemovedClauses += int64(removed)
+	}
 }
 
+// quickSelectMedian returns the median element of a (by value, not
+// position) without fully sorting it. Empty input returns 0.
 func quickSelectMedian(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
 	b := append([]float64(nil), a...)
 	k := len(b) / 2
 	lo, hi := 0, len(b)-1
@@ -525,6 +624,21 @@ func quickSelectMedian(a []float64) float64 {
 	return b[k]
 }
 
+// recordLearnt updates the learning counters for one learned clause.
+func (s *Solver) recordLearnt(lits []Lit, lbd int32) {
+	s.stats.Learnt++
+	s.stats.LearntLits += int64(len(lits))
+	s.stats.LBDSum += int64(lbd)
+	bucket := int(lbd) - 1
+	if bucket < 0 {
+		bucket = 0
+	}
+	if bucket >= LBDBuckets {
+		bucket = LBDBuckets - 1
+	}
+	s.stats.LBDHist[bucket]++
+}
+
 // Solve searches for a satisfying assignment under the given assumption
 // literals. It returns (true, nil) when satisfiable (the model is then
 // available via Value), (false, nil) when unsatisfiable under the
@@ -532,6 +646,12 @@ func quickSelectMedian(a []float64) float64 {
 func (s *Solver) Solve(assumptions ...Lit) (bool, error) {
 	if !s.ok {
 		return false, nil
+	}
+	// Already-satisfied assumptions open empty pseudo-decision levels, so
+	// the level count is bounded by numVars+len(assumptions), not numVars;
+	// levelMark must cover the whole range for computeLBD.
+	for len(s.levelMark) <= s.NumVars()+len(assumptions) {
+		s.levelMark = append(s.levelMark, 0)
 	}
 	defer s.backtrackTo(0)
 
@@ -570,12 +690,13 @@ func (s *Solver) search(budget int64, assumptions []Lit) (LBool, error) {
 				s.ok = false
 				return False, nil
 			}
-			learnt, btLevel := s.analyze(confl)
+			learnt, btLevel, lbd := s.analyze(confl)
 			// Backtrack exactly to the asserting level. Assumption levels
 			// may be retracted here; the decision loop below re-enqueues
 			// them (learned clauses are global consequences, so this is
 			// sound).
 			s.backtrackTo(btLevel)
+			s.recordLearnt(learnt, lbd)
 			if len(learnt) == 1 {
 				if s.valueLit(learnt[0]) == False {
 					s.ok = false
@@ -585,9 +706,8 @@ func (s *Solver) search(budget int64, assumptions []Lit) (LBool, error) {
 					s.uncheckedEnqueue(learnt[0], nil)
 				}
 			} else {
-				c := &clause{lits: learnt, learnt: true, activity: 1}
+				c := &clause{lits: learnt, learnt: true, activity: 1, lbd: lbd}
 				s.learnts = append(s.learnts, c)
-				s.stats.Learnt++
 				s.attach(c)
 				if s.valueLit(learnt[0]) == Undef {
 					s.uncheckedEnqueue(learnt[0], c)
