@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet orapvet audit fmt build test race bench bench-parallel bench-smoke ci
+.PHONY: all vet orapvet audit fmt build test race bench bench-parallel bench-smoke bench-json ci
 
 all: vet build test
 
@@ -55,4 +55,14 @@ bench-parallel:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate' -benchtime 1x ./internal/attack ./internal/sat
 
-ci: vet fmt orapvet audit build test race bench-smoke
+# Machine-readable oracle-channel benchmarks: the serial-vs-batched pairs
+# (scan protocol, disagreement sampling, AppSAT settlement) plus the
+# memoised-session batch, emitted as `go test -json` into BENCH_oracle.json
+# for dashboards and regression diffing. BENCHTIME=3x for stabler numbers;
+# CI runs the 1x default as a smoke pass.
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -run '^$$' -bench 'ScanOracle|SessionCached|SampleDisagreement|AppSAT' \
+		-benchtime $(BENCHTIME) -json ./internal/oracle ./internal/attack > BENCH_oracle.json
+
+ci: vet fmt orapvet audit build test race bench-smoke bench-json

@@ -74,11 +74,11 @@ func main() {
 		return
 	}
 
-	var o oracle.Oracle
+	var inner oracle.Oracle
 	switch *oracleKind {
 	case "comb":
 		var err error
-		o, err = oracle.NewComb(orig, nil)
+		inner, err = oracle.NewComb(orig, nil)
 		fatal(err)
 	case "scan":
 		if len(*key) != locked.NumKeys() {
@@ -107,10 +107,13 @@ func main() {
 		ch, err := scan.New(cfg)
 		fatal(err)
 		fatal(ch.Unlock(nil))
-		o = oracle.NewScan(ch)
+		inner = oracle.NewScan(ch)
 	default:
 		fatal(fmt.Errorf("unknown oracle kind %q", *oracleKind))
 	}
+	// Every attack runs through a channel session: batched word queries,
+	// transcript memoisation, and the telemetry printed below.
+	o := oracle.NewSession(inner, 0)
 
 	budgets := attack.Budgets{MaxIterations: *maxIter}
 	r := rng.New(*seed)
@@ -150,12 +153,14 @@ func main() {
 		if res != nil {
 			fmt.Printf("iterations: %d, oracle queries: %d\n", res.Iterations, res.OracleQueries)
 		}
+		printChannel(o.Stats())
 		os.Exit(1)
 	}
 	fmt.Printf("attack:        %s (%v)\n", *attackName, elapsed)
 	fmt.Printf("converged:     %v\n", res.Converged)
 	fmt.Printf("iterations:    %d\n", res.Iterations)
 	fmt.Printf("oracle queries:%d\n", res.OracleQueries)
+	printChannel(o.Stats())
 	st := res.SolverStats
 	fmt.Printf("solver:        %d conflicts, %d decisions, %d propagations (%d binary)\n",
 		st.Conflicts, st.Decisions, st.Propagations, st.BinPropagations)
@@ -227,6 +232,17 @@ func dimacsVars(vars []sat.Var) string {
 		fmt.Fprintf(&b, "%d", int(v)+1)
 	}
 	return b.String()
+}
+
+// printChannel reports the session's view of the oracle access channel:
+// how many patterns crossed the interface, how many were distinct, how
+// much the transcript cache saved, and the modeled scan-clock bill.
+func printChannel(st oracle.ChannelStats) {
+	fmt.Printf("oracle channel: %d unique patterns, %.1f%% cache hits, %d batch calls\n",
+		st.Unique, 100*st.HitRate(), st.BatchCalls)
+	if st.ScanCycles > 0 {
+		fmt.Printf("scan cycles:    %d (modeled, 2*chain+1 clocks per admitted query)\n", st.ScanCycles)
+	}
 }
 
 func parse(path string, warn io.Writer) *netlist.Circuit {

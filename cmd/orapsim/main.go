@@ -157,6 +157,8 @@ func main() {
 		fmt.Printf("  query %d: in=%s out=%s (%s)\n", qi, bits(x), bits(resp), status)
 	}
 	fmt.Printf("\nkey register after the session: %s\n", bits(chip.Key()))
+	fmt.Printf("scan interface: %d test-clock cycles (%d-cell longest chain, %d cycles per query)\n",
+		chip.Cycles(), chip.ChainLength(), chip.CyclesPerQuery())
 }
 
 // patterns parses the -query strings or draws random patterns.

@@ -48,11 +48,20 @@ func main() {
 	fmt.Printf("%-11s | %-24s | %-24s\n", "attack", "vs unprotected oracle", "vs OraP oracle")
 	fmt.Println("------------+--------------------------+-------------------------")
 
+	// Channel telemetry per attack×oracle cell, summarized after the table.
+	type channelRow struct {
+		attack string
+		prot   string
+		stats  oracle.ChannelStats
+	}
+	var channel []channelRow
+
 	run := func(name string, f func(o oracle.Oracle, seed uint64) ([]bool, int, error)) {
 		line := fmt.Sprintf("%-11s |", name)
 		for _, prot := range []scan.Protection{scan.None, scan.OraPBasic} {
 			o := newOracle(l, scaled, prot, seed)
 			key, queries, err := f(o, seed)
+			channel = append(channel, channelRow{name, prot.String(), o.Stats()})
 			var verdict string
 			switch {
 			case err != nil:
@@ -162,6 +171,17 @@ func main() {
 	fmt.Println("Note how every oracle-based attack that succeeds on the left column fails on")
 	fmt.Println("the right: the OraP chip's key register cleared on the scan-enable edge, so")
 	fmt.Println("all observations describe the locked circuit.")
+
+	// The channel view of the same sessions: what each attack cost on the
+	// scan interface, and what the transcript cache saved.
+	fmt.Println()
+	fmt.Println("oracle channel usage per session:")
+	fmt.Printf("%-11s | %-13s | %8s | %8s | %6s | %11s\n",
+		"attack", "oracle", "queries", "unique", "hit%", "scan cycles")
+	for _, c := range channel {
+		fmt.Printf("%-11s | %-13s | %8d | %8d | %5.1f%% | %11d\n",
+			c.attack, c.prot, c.stats.Queries, c.stats.Unique, 100*c.stats.HitRate(), c.stats.ScanCycles)
+	}
 }
 
 func keyOf(res *attack.Result) []bool {
@@ -178,7 +198,7 @@ func queriesOf(res *attack.Result, o oracle.Oracle) int {
 	return o.Queries()
 }
 
-func newOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) oracle.Oracle {
+func newOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) *oracle.Session {
 	cfg, err := orap.Protect(l.Circuit, l.Key, prof.Pins, prof.PinOuts, prot, orap.Options{Rand: rng.New(seed + 9)})
 	if err != nil {
 		log.Fatal(err)
@@ -190,5 +210,5 @@ func newOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed
 	if err := ch.Unlock(nil); err != nil {
 		log.Fatal(err)
 	}
-	return oracle.NewScan(ch)
+	return oracle.NewSession(oracle.NewScan(ch), 0)
 }

@@ -16,6 +16,7 @@ package attack
 
 import (
 	"fmt"
+	"math/bits"
 
 	"orap/internal/netlist"
 	"orap/internal/oracle"
@@ -33,11 +34,30 @@ type Result struct {
 	Iterations int
 	// OracleQueries counts oracle accesses consumed by the attack.
 	OracleQueries int
+	// Channel holds oracle-channel telemetry (unique patterns, cache
+	// hits, scan cycles) when the attack ran against an oracle.Session;
+	// zero otherwise.
+	Channel oracle.ChannelStats
 	// SolverStats aggregates SAT effort, when a solver was involved.
 	SolverStats sat.Stats
 	// Converged reports whether the attack terminated by its own
 	// criterion (e.g. miter UNSAT) rather than a budget.
 	Converged bool
+}
+
+// channelStats extracts channel telemetry from oracles that keep it
+// (oracle.Session, or anything exposing Stats()).
+func channelStats(o oracle.Oracle) oracle.ChannelStats {
+	if s, ok := o.(interface{ Stats() oracle.ChannelStats }); ok {
+		return s.Stats()
+	}
+	return oracle.ChannelStats{}
+}
+
+// finish stamps the oracle-derived fields of a result on the way out.
+func (res *Result) finish(o oracle.Oracle) {
+	res.OracleQueries = o.Queries()
+	res.Channel = channelStats(o)
 }
 
 // Budgets bounds attack effort so experiments terminate even when a
@@ -100,33 +120,54 @@ func VerifyKey(locked, reference *netlist.Circuit, key []bool) (bool, error) {
 
 // SampleDisagreement estimates the fraction of random inputs on which the
 // locked circuit under key disagrees (in at least one output bit) with the
-// oracle; used by AppSAT's settlement test and by reporting.
+// oracle; used by AppSAT's settlement test and by reporting. Patterns go
+// through the oracle's word channel in batches of up to 64, and the
+// candidate key evaluates word-parallel over the same batches.
 func SampleDisagreement(locked *netlist.Circuit, key []bool, o oracle.Oracle, samples int, r *rng.Stream) (float64, error) {
 	if samples <= 0 {
 		return 0, fmt.Errorf("attack: non-positive sample count %d", samples)
 	}
-	ev, err := sim.NewEvaluator(locked)
+	p, err := sim.NewParallel(locked, 1)
 	if err != nil {
 		return 0, err
 	}
+	defer p.Release()
+	if err := p.SetKey(key); err != nil {
+		return 0, err
+	}
+	prog := p.Program()
 	bad := 0
 	x := make([]bool, locked.NumInputs())
-	for i := 0; i < samples; i++ {
-		r.Bits(x)
-		want, err := o.Query(x)
+	in := make([]uint64, locked.NumInputs())
+	for done := 0; done < samples; {
+		n := samples - done
+		if n > 64 {
+			n = 64
+		}
+		for i := range in {
+			in[i] = 0
+		}
+		// One r.Bits draw per pattern, in pattern order, exactly as the
+		// scalar loop drew them — fixed-seed results stay bit-identical.
+		for pat := 0; pat < n; pat++ {
+			r.Bits(x)
+			oracle.PackPattern(in, pat, x)
+		}
+		want, err := oracle.QueryWords(o, in, n)
 		if err != nil {
 			return 0, err
 		}
-		got, err := ev.Eval(x, key)
-		if err != nil {
-			return 0, err
+		for i, id := range prog.PIs {
+			p.SetInput(int(id), in[i:i+1])
 		}
-		for j := range want {
-			if want[j] != got[j] {
-				bad++
-				break
-			}
+		p.Run()
+		var diff uint64
+		for j, id := range prog.POs {
+			diff |= want[j] ^ p.Value(int(id))[0]
 		}
+		diff &= oracle.LaneMask(n)
+		bad += bits.OnesCount64(diff)
+		done += n
 	}
 	return float64(bad) / float64(samples), nil
 }

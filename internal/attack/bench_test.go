@@ -71,6 +71,62 @@ func BenchmarkSATAttackCOI(b *testing.B) {
 	}
 }
 
+// The serial/batched pairs below price the word-parallel oracle channel:
+// the serial leg hides the word interface behind oracle.Scalarize, forcing
+// one oracle crossing per pattern; the batched leg queries 64 at a time.
+
+func benchSampleDisagreement(b *testing.B, wrap func(oracle.Oracle) oracle.Oracle) {
+	orig, l := benchLocked(b, 0.008, 10)
+	o, err := oracle.NewComb(orig, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wrong := make([]bool, l.Circuit.NumKeys())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleDisagreement(l.Circuit, wrong, wrap(o), 1024, rng.New(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleDisagreementSerial(b *testing.B) {
+	benchSampleDisagreement(b, oracle.Scalarize)
+}
+
+func BenchmarkSampleDisagreementBatched(b *testing.B) {
+	benchSampleDisagreement(b, func(o oracle.Oracle) oracle.Oracle { return o })
+}
+
+func benchAppSAT(b *testing.B, wrap func(oracle.Oracle) oracle.Oracle) {
+	orig, l := benchLocked(b, 0.008, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := oracle.NewComb(orig, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := AppSAT(l.Circuit, wrap(o), AppSATOptions{
+			Budgets: Budgets{MaxIterations: 256},
+			Rand:    rng.New(11),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Key == nil {
+			b.Fatal("AppSAT returned no key")
+		}
+	}
+}
+
+func BenchmarkAppSATSerial(b *testing.B) {
+	benchAppSAT(b, oracle.Scalarize)
+}
+
+func BenchmarkAppSATBatched(b *testing.B) {
+	benchAppSAT(b, func(o oracle.Oracle) oracle.Oracle { return o })
+}
+
 // TestSATAttackCOIMatchesLegacyVerdict pins the equivalence the benchmark
 // pair relies on: both encodings recover functionally correct keys on the
 // same locked instance.

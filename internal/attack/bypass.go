@@ -30,6 +30,9 @@ type BypassResult struct {
 	Patches map[string][]bool
 	// OracleQueries counts oracle accesses.
 	OracleQueries int
+	// Channel holds oracle-channel telemetry when the attack ran against
+	// an oracle.Session; zero otherwise.
+	Channel oracle.ChannelStats
 
 	// evalFor/eval memoize the compiled evaluator of the last circuit
 	// passed to Eval, so verification loops do not recompile per pattern.
@@ -98,6 +101,7 @@ func Bypass(locked *netlist.Circuit, o oracle.Oracle, chosenKey []bool, opts Byp
 		y, err := o.Query(x)
 		if err != nil {
 			res.OracleQueries = o.Queries()
+			res.Channel = channelStats(o)
 			return res, err
 		}
 		res.Patches[patternKey(x)] = y
@@ -109,6 +113,7 @@ func Bypass(locked *netlist.Circuit, o oracle.Oracle, chosenKey []bool, opts Byp
 		s.AddClause(blocking...)
 	}
 	res.OracleQueries = o.Queries()
+	res.Channel = channelStats(o)
 	return res, nil
 }
 

@@ -72,10 +72,14 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 		}
 		return m2.AddIOConstraint(x, y)
 	}
-	// Settlement validation evaluates candidate keys on the miter's
-	// compiled program; the random stream is fixed-seeded so the attack
-	// stays run-to-run and worker-count deterministic.
-	ev := sim.EvaluatorFor(m1.Prog)
+	// Settlement validation evaluates candidate keys word-parallel on the
+	// miter's compiled program; the random stream is fixed-seeded so the
+	// attack stays run-to-run and worker-count deterministic.
+	ev, err := sim.ForProgram(m1.Prog, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer ev.Release()
 	settleRand := rng.NewNamed(0x2d1b, "attack/doubledip-settle")
 	settleRounds := 0
 	for {
@@ -83,6 +87,7 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 		for {
 			if res.Iterations >= maxIter {
 				res.SolverStats = s.Stats()
+				res.finish(o)
 				return res, ErrIterationBudget
 			}
 			satisfiable, err := s.Solve(m1.AssumeDiff(), m2.AssumeDiff(), sat.MkLit(actPair, false))
@@ -100,7 +105,7 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 			}
 			if err != nil {
 				res.SolverStats = s.Stats()
-				res.OracleQueries = o.Queries()
+				res.finish(o)
 				return res, err
 			}
 			res.Iterations++
@@ -114,46 +119,68 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 		satisfiable, err := s.Solve(m1.AssumeNoDiff(), m2.AssumeNoDiff(), sat.MkLit(actPair, true))
 		if err != nil {
 			res.SolverStats = s.Stats()
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			return res, err
 		}
 		if !satisfiable {
 			res.SolverStats = s.Stats()
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			return res, fmt.Errorf("attack: observations inconsistent with locked netlist (no candidate key)")
 		}
 		key := m1.ExtractKey1()
+		if err := ev.SetKey(key); err != nil {
+			return res, err
+		}
+		prog := ev.Program()
 		disagreements := 0
 		xr := make([]bool, locked.NumInputs())
-		for i := 0; i < doubleDIPSettleSamples; i++ {
-			settleRand.Bits(xr)
-			want, err := o.Query(xr)
+		yr := make([]bool, locked.NumOutputs())
+		in := make([]uint64, locked.NumInputs())
+		for done := 0; done < doubleDIPSettleSamples; {
+			n := doubleDIPSettleSamples - done
+			if n > 64 {
+				n = 64
+			}
+			for i := range in {
+				in[i] = 0
+			}
+			for pat := 0; pat < n; pat++ {
+				settleRand.Bits(xr)
+				oracle.PackPattern(in, pat, xr)
+			}
+			want, err := oracle.QueryWords(o, in, n)
 			if err != nil {
 				res.SolverStats = s.Stats()
-				res.OracleQueries = o.Queries()
+				res.finish(o)
 				return res, err
 			}
-			got, err := ev.Eval(xr, key)
-			if err != nil {
-				return res, err
+			for i, id := range prog.PIs {
+				ev.SetInput(int(id), in[i:i+1])
 			}
-			diff := false
-			for j := range want {
-				if want[j] != got[j] {
-					diff = true
-					break
+			ev.Run()
+			var diff uint64
+			for j, id := range prog.POs {
+				diff |= want[j] ^ ev.Value(int(id))[0]
+			}
+			diff &= oracle.LaneMask(n)
+			// Disagreements recorded in ascending lane order — the scalar
+			// discovery order — so fixed-seed runs stay bit-identical.
+			for pat := 0; pat < n; pat++ {
+				if diff>>uint(pat)&1 == 0 {
+					continue
 				}
-			}
-			if diff {
 				disagreements++
-				if err := record(append([]bool(nil), xr...), want); err != nil {
+				oracle.UnpackPattern(in, pat, xr)
+				oracle.UnpackPattern(want, pat, yr)
+				if err := record(append([]bool(nil), xr...), append([]bool(nil), yr...)); err != nil {
 					return res, err
 				}
 			}
+			done += n
 		}
 		if disagreements == 0 {
 			res.SolverStats = s.Stats()
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			res.Key = key
 			res.Converged = true
 			return res, nil
@@ -161,7 +188,7 @@ func DoubleDIP(locked *netlist.Circuit, o oracle.Oracle, b Budgets) (*Result, er
 		settleRounds++
 		if settleRounds >= maxIter {
 			res.SolverStats = s.Stats()
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			return res, ErrIterationBudget
 		}
 	}

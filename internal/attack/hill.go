@@ -64,22 +64,22 @@ func HillClimb(locked *netlist.Circuit, o oracle.Oracle, opts HillOptions) (*Res
 	for i := range want {
 		want[i] = make([]uint64, words)
 	}
-	x := make([]bool, locked.NumInputs())
 	res := &Result{}
-	for pat := 0; pat < patterns; pat++ {
-		w, b := pat/64, uint(pat)%64
-		for i := range x {
-			x[i] = inputWords[i][w]>>b&1 == 1
+	// Label the working set through the oracle's word channel, one
+	// 64-pattern word per interface crossing: the pattern words already
+	// have the channel's bit-sliced layout.
+	laneIn := make([]uint64, locked.NumInputs())
+	for w := 0; w < words; w++ {
+		for i := range laneIn {
+			laneIn[i] = inputWords[i][w]
 		}
-		y, err := o.Query(x)
+		y, err := oracle.QueryWords(o, laneIn, 64)
 		if err != nil {
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			return res, err
 		}
-		for i, v := range y {
-			if v {
-				want[i][w] |= 1 << b
-			}
+		for i := range want {
+			want[i][w] = y[i]
 		}
 	}
 	for i, id := range locked.PIs {
@@ -167,6 +167,6 @@ func HillClimb(locked *netlist.Circuit, o oracle.Oracle, opts HillOptions) (*Res
 	}
 	res.Key = bestKey
 	res.Converged = bestCost == 0
-	res.OracleQueries = o.Queries()
+	res.finish(o)
 	return res, nil
 }

@@ -54,7 +54,7 @@ func satWithMiter(locked *netlist.Circuit, o oracle.Oracle, b Budgets,
 		y, err := o.Query(x)
 		if err != nil {
 			res.SolverStats = s.Stats()
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			return res, err
 		}
 		if err := m.AddIOConstraint(x, y); err != nil {
@@ -65,7 +65,7 @@ func satWithMiter(locked *netlist.Circuit, o oracle.Oracle, b Budgets,
 	// Extract a consistent key with the disequality disabled.
 	satisfiable, err := s.Solve(m.AssumeNoDiff())
 	res.SolverStats = s.Stats()
-	res.OracleQueries = o.Queries()
+	res.finish(o)
 	if err != nil {
 		return res, err
 	}

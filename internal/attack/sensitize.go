@@ -75,6 +75,16 @@ func Sensitize(locked *netlist.Circuit, o oracle.Oracle, opts SensitizeOptions) 
 		}
 	}
 
+	// Confirmed golden patterns are not queried one by one: each bit's
+	// inference is independent of the others, so the oracle confirmations
+	// are deferred and sent through the word channel in batches of 64.
+	type confirmation struct {
+		bit, probe int
+		x          []bool
+		c0, c1     bool
+	}
+	var pending []confirmation
+
 	otherKey := make([]bool, nk)
 	key0 := make([]bool, nk)
 	key1 := make([]bool, nk)
@@ -156,21 +166,46 @@ func Sensitize(locked *netlist.Circuit, o oracle.Oracle, opts SensitizeOptions) 
 		if probe < 0 {
 			continue // every sensitized output is interfered with
 		}
-		y, err := o.Query(x)
+		pending = append(pending, confirmation{
+			bit: bit, probe: probe, x: x,
+			c0: const0[probe], c1: const1[probe],
+		})
+	}
+
+	// Batched confirmation: one word-channel crossing per 64 golden
+	// patterns, inferring each bit from its probe output's lane.
+	in := make([]uint64, locked.NumInputs())
+	for done := 0; done < len(pending); {
+		n := len(pending) - done
+		if n > 64 {
+			n = 64
+		}
+		for i := range in {
+			in[i] = 0
+		}
+		for pat := 0; pat < n; pat++ {
+			oracle.PackPattern(in, pat, pending[done+pat].x)
+		}
+		y, err := oracle.QueryWords(o, in, n)
 		if err != nil {
-			res.OracleQueries = o.Queries()
+			res.finish(o)
 			return res, err
 		}
-		switch y[probe] {
-		case const0[probe]:
-			res.Key[bit] = false
-			res.Determined[bit] = true
-		case const1[probe]:
-			res.Key[bit] = true
-			res.Determined[bit] = true
+		for pat := 0; pat < n; pat++ {
+			c := pending[done+pat]
+			got := y[c.probe]>>uint(pat)&1 == 1
+			switch got {
+			case c.c0:
+				res.Key[c.bit] = false
+				res.Determined[c.bit] = true
+			case c.c1:
+				res.Key[c.bit] = true
+				res.Determined[c.bit] = true
+			}
 		}
+		done += n
 	}
-	res.OracleQueries = o.Queries()
+	res.finish(o)
 	res.Converged = allTrue(res.Determined)
 	return res, nil
 }

@@ -30,6 +30,14 @@ type AttackRow struct {
 	Disagreement float64
 	Iterations   int
 	Queries      int
+	// Unique is the number of distinct patterns the attack's session
+	// admitted to the chip; CacheHitPct is the fraction of queries the
+	// session transcript answered without chip access; ScanCycles is the
+	// modeled test-clock cost of the admitted queries (2·chain-length+1
+	// per query).
+	Unique      int
+	CacheHitPct float64
+	ScanCycles  int64
 	// Audit summarizes the static oracle-path audit of this protection
 	// level ("errors E / warnings W", plus effective/nominal key entropy
 	// for protected configurations) — the analyzer's verdict next to the
@@ -154,6 +162,12 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		}
 		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1, Audit: auditCol[prot]}
 		res, err := a.run(o, opts.Seed)
+		// Channel telemetry comes from the session itself, so failed runs
+		// report their (wasted) channel usage too.
+		st := o.Stats()
+		row.Unique = st.Unique
+		row.CacheHitPct = 100 * st.HitRate()
+		row.ScanCycles = st.ScanCycles
 		if err != nil {
 			row.Note = err.Error()
 			if res != nil {
@@ -209,8 +223,9 @@ func auditSummary(cfg scan.Config) (string, error) {
 }
 
 // newScanOracle builds a fresh activated chip for the locked circuit and
-// wraps it in the scan-protocol oracle.
-func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) (oracle.Oracle, error) {
+// wraps it in the scan-protocol oracle behind a channel session
+// (batching, transcript memoisation, telemetry).
+func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) (*oracle.Session, error) {
 	cfg, err := orap.Protect(l.Circuit, l.Key, prof.Pins, prof.PinOuts, prot, orap.Options{
 		Rand: rng.NewNamed(seed, "attacks/orap"),
 	})
@@ -224,12 +239,12 @@ func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, 
 	if err := ch.Unlock(nil); err != nil {
 		return nil, err
 	}
-	return oracle.NewScan(ch), nil
+	return oracle.NewSession(oracle.NewScan(ch), 0), nil
 }
 
 // FormatAttackStudy renders the attack comparison.
 func FormatAttackStudy(rows []AttackRow) string {
-	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Audit", "Note"}
+	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Unique", "Hit%", "Scan cycles", "Audit", "Note"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -240,6 +255,9 @@ func FormatAttackStudy(rows []AttackRow) string {
 			fmt.Sprintf("%.3f", r.Disagreement),
 			fmt.Sprint(r.Iterations),
 			fmt.Sprint(r.Queries),
+			fmt.Sprint(r.Unique),
+			fmt.Sprintf("%.1f", r.CacheHitPct),
+			fmt.Sprint(r.ScanCycles),
 			r.Audit,
 			r.Note,
 		})

@@ -149,8 +149,27 @@ func TestAttackStudyShape(t *testing.T) {
 			}
 		}
 	}
-	if text := FormatAttackStudy(rows); !strings.Contains(text, "Audit") {
-		t.Fatalf("formatted study missing the audit column:\n%s", text)
+	// Oracle-channel telemetry: every cell ran through a session over the
+	// scan oracle, so the channel columns must be populated and coherent.
+	for _, r := range rows {
+		if r.Unique <= 0 {
+			t.Errorf("%s/%s: no unique patterns recorded", r.Attack, r.Protection)
+		}
+		if r.Queries > 0 && r.Unique > r.Queries {
+			t.Errorf("%s/%s: unique %d > queries %d", r.Attack, r.Protection, r.Unique, r.Queries)
+		}
+		if r.CacheHitPct < 0 || r.CacheHitPct > 100 {
+			t.Errorf("%s/%s: cache hit %.1f%% out of range", r.Attack, r.Protection, r.CacheHitPct)
+		}
+		if r.ScanCycles <= 0 {
+			t.Errorf("%s/%s: no scan cycles accounted", r.Attack, r.Protection)
+		}
+	}
+	text := FormatAttackStudy(rows)
+	for _, col := range []string{"Audit", "Unique", "Hit%", "Scan cycles"} {
+		if !strings.Contains(text, col) {
+			t.Fatalf("formatted study missing the %s column:\n%s", col, text)
+		}
 	}
 }
 

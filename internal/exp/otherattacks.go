@@ -130,33 +130,85 @@ func OtherAttacks(seed uint64) ([]OtherAttackRow, error) {
 }
 
 // patchedMatches samples whether the bypass-patched design equals the
-// original function.
+// original function. The comparison is word-parallel: one run of the
+// locked circuit under the correct key (the reference function) and one
+// under the attacker's chosen key cover all trials; patched input
+// patterns are then checked against the patch table per lane.
 func patchedMatches(design interface {
 	NumInputs() int
 }, l *lock.Locked, res *attack.BypassResult, seed uint64) bool {
+	const trials = 256
 	r := rng.NewNamed(seed, "other/verify")
-	ev, err := sim.NewEvaluator(l.Circuit)
+	p, err := sim.NewParallel(l.Circuit, trials/64)
 	if err != nil {
 		return false
 	}
+	defer p.Release()
+
 	x := make([]bool, design.NumInputs())
-	for trial := 0; trial < 256; trial++ {
+	patterns := make([][]bool, trials)
+	for trial := range patterns {
 		r.Bits(x)
-		want, err := ev.Eval(x, l.Key) // correct key = original function
-		if err != nil {
-			return false
+		patterns[trial] = append([]bool(nil), x...)
+	}
+	for i, id := range l.Circuit.PIs {
+		w := p.Value(id)
+		for trial, pat := range patterns {
+			if pat[i] {
+				w[trial/64] |= 1 << uint(trial%64)
+			}
 		}
-		got, err := res.Eval(l.Circuit, x)
-		if err != nil {
-			return false
+	}
+	run := func(key []bool) ([][]uint64, bool) {
+		if err := p.SetKey(key); err != nil {
+			return nil, false
+		}
+		p.Run()
+		out := make([][]uint64, len(l.Circuit.POs))
+		for j, id := range l.Circuit.POs {
+			out[j] = append([]uint64(nil), p.Value(id)...)
+		}
+		return out, true
+	}
+	want, ok := run(l.Key) // correct key = original function
+	if !ok {
+		return false
+	}
+	got, ok := run(res.Key) // attacker's chosen key, pre-patch
+	if !ok {
+		return false
+	}
+	for trial, pat := range patterns {
+		w, b := trial/64, uint(trial)%64
+		if patch, patched := res.Patches[bitString(pat)]; patched {
+			for j := range want {
+				if patch[j] != (want[j][w]>>b&1 == 1) {
+					return false
+				}
+			}
+			continue
 		}
 		for j := range want {
-			if want[j] != got[j] {
+			if (want[j][w]^got[j][w])>>b&1 == 1 {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// bitString renders a pattern in the '0'/'1' form the bypass patch table
+// is keyed by.
+func bitString(x []bool) string {
+	out := make([]byte, len(x))
+	for i, b := range x {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
 }
 
 // ensureNonZeroKey flips a bit if the drawn key is all-zero (the one key
@@ -176,7 +228,7 @@ func ensureNonZeroKey(l *lock.Locked) {
 }
 
 // chipOracle builds an activated chip for the locked design and wraps it
-// in the scan-protocol oracle.
+// in the scan-protocol oracle behind a channel session.
 func chipOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, seed uint64) (oracle.Oracle, error) {
 	cfg, err := orap.Protect(l.Circuit, l.Key, prof.Pins, prof.PinOuts, prot, orap.Options{
 		Rand: rng.NewNamed(seed, "other/protect"),
@@ -191,7 +243,7 @@ func chipOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, see
 	if err := ch.Unlock(nil); err != nil {
 		return nil, err
 	}
-	return oracle.NewScan(ch), nil
+	return oracle.NewSession(oracle.NewScan(ch), 0), nil
 }
 
 // FormatOtherAttacks renders the study.

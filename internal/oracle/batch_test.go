@@ -1,0 +1,295 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"orap/internal/circuits"
+	"orap/internal/rng"
+	"orap/internal/scan"
+)
+
+// drawBatch fills a bit-sliced batch with n random patterns, one r.Bits
+// draw per pattern, and returns the scalar patterns in draw order.
+func drawBatch(r *rng.Stream, inputs, n int) ([]uint64, [][]bool) {
+	in := make([]uint64, inputs)
+	pats := make([][]bool, n)
+	x := make([]bool, inputs)
+	for p := 0; p < n; p++ {
+		r.Bits(x)
+		pats[p] = append([]bool(nil), x...)
+		PackPattern(in, p, x)
+	}
+	return in, pats
+}
+
+// assertBatchMatchesScalar queries batched against scalar-built twins of
+// the same oracle construction and requires bit-identical responses.
+func assertBatchMatchesScalar(t *testing.T, batched, scalar Oracle, n int, seed uint64) {
+	t.Helper()
+	in, pats := drawBatch(rng.New(seed), batched.NumInputs(), n)
+	out, err := QueryWords(batched, in, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]bool, batched.NumOutputs())
+	for p := 0; p < n; p++ {
+		want, err := scalar.Query(pats[p])
+		if err != nil {
+			t.Fatal(err)
+		}
+		UnpackPattern(out, p, got)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("pattern %d output %d: batched %v, scalar %v", p, j, got[j], want[j])
+			}
+		}
+	}
+	// Garbage lanes must be masked off.
+	for j := 0; j < batched.NumOutputs(); j++ {
+		if out[j]&^LaneMask(n) != 0 {
+			t.Fatalf("output %d has bits set above lane %d", j, n)
+		}
+	}
+	if batched.Queries() != scalar.Queries() {
+		t.Fatalf("batched counted %d queries, scalar %d", batched.Queries(), scalar.Queries())
+	}
+}
+
+func TestQueryWordsMatchesScalarComb(t *testing.T) {
+	c := circuits.RippleAdder(6)
+	for _, n := range []int{1, 7, 64} {
+		a, err := NewComb(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewComb(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBatchMatchesScalar(t, a, b, n, uint64(n)+10)
+	}
+}
+
+func TestQueryWordsMatchesScalarScanAndOraP(t *testing.T) {
+	// The batched scan path must replay the full per-pattern protocol: on
+	// the unprotected chip responses carry the correct key, on OraP chips
+	// every pattern in the batch sees the self-cleared register.
+	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic, scan.OraPModified} {
+		for _, n := range []int{1, 5, 64} {
+			t.Run(fmt.Sprintf("%v/n=%d", prot, n), func(t *testing.T) {
+				_, _, chA := protectedChip(t, prot, 21)
+				_, _, chB := protectedChip(t, prot, 21)
+				assertBatchMatchesScalar(t, NewScan(chA), NewScan(chB), n, uint64(n))
+				// The chips must also end in identical state: same key
+				// register, same scan-cycle bill, same unlocked flag.
+				if !bytes.Equal(boolBytes(chA.Key()), boolBytes(chB.Key())) {
+					t.Fatal("key register differs between batched and scalar chips")
+				}
+				if chA.Cycles() != chB.Cycles() {
+					t.Fatalf("cycle accounting differs: batched %d, scalar %d", chA.Cycles(), chB.Cycles())
+				}
+				if chA.Unlocked() != chB.Unlocked() {
+					t.Fatal("unlocked bookkeeping differs between batched and scalar chips")
+				}
+			})
+		}
+	}
+}
+
+func TestScanBatchFollowedByScalarQueriesAgree(t *testing.T) {
+	// Interleaving the two channels must leave the chip in the same state:
+	// a scalar query after a batch answers exactly as on a chip that saw
+	// only scalar queries.
+	_, _, chA := protectedChip(t, scan.OraPBasic, 33)
+	_, _, chB := protectedChip(t, scan.OraPBasic, 33)
+	a, b := NewScan(chA), NewScan(chB)
+	in, pats := drawBatch(rng.New(7), a.NumInputs(), 17)
+	if _, err := a.QueryWords(in, 17); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range pats {
+		if _, err := b.Query(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := make([]bool, a.NumInputs())
+	rng.New(8).Bits(x)
+	ya, err := a.Query(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := b.Query(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(boolBytes(ya), boolBytes(yb)) {
+		t.Fatal("scalar query after a batch differs from the all-scalar chip")
+	}
+	if chA.Cycles() != chB.Cycles() {
+		t.Fatalf("cycles differ after mixed channels: %d vs %d", chA.Cycles(), chB.Cycles())
+	}
+}
+
+func TestQueryWordsScalarFallback(t *testing.T) {
+	// The package-level helper must serve any Oracle: Scalarize hides the
+	// word channel, forcing the scalar fallback, and the responses must
+	// still be bit-identical.
+	c := circuits.RippleAdder(5)
+	a, _ := NewComb(c, nil)
+	b, _ := NewComb(c, nil)
+	assertBatchMatchesScalar(t, Scalarize(a), b, 23, 99)
+}
+
+func TestQueryWordsErrorPaths(t *testing.T) {
+	c := circuits.C17()
+	o, _ := NewComb(c, nil)
+	if _, err := o.QueryWords(make([]uint64, 5), 0); err == nil {
+		t.Fatal("batch size 0 accepted")
+	}
+	if _, err := o.QueryWords(make([]uint64, 5), 65); err == nil {
+		t.Fatal("batch size 65 accepted")
+	}
+	if _, err := o.QueryWords(make([]uint64, 3), 4); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if o.Queries() != 0 {
+		t.Fatalf("rejected batches advanced the query count to %d", o.Queries())
+	}
+}
+
+func FuzzQueryWordsMatchesScalar(f *testing.F) {
+	f.Add(uint8(1), []byte{0x00})
+	f.Add(uint8(64), []byte{0xff, 0x0f, 0xaa})
+	f.Add(uint8(13), []byte{0x5a, 0xc3})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw)%64 + 1
+		c := circuits.RippleAdder(3)
+		batched, err := NewComb(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := NewComb(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ni := c.NumInputs()
+		in := make([]uint64, ni)
+		x := make([]bool, ni)
+		pats := make([][]bool, n)
+		for p := 0; p < n; p++ {
+			for i := range x {
+				bit := p*ni + i
+				x[i] = bit/8 < len(data) && data[bit/8]>>(uint(bit)%8)&1 == 1
+			}
+			pats[p] = append([]bool(nil), x...)
+			PackPattern(in, p, x)
+		}
+		out, err := batched.QueryWords(in, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]bool, c.NumOutputs())
+		for p := 0; p < n; p++ {
+			want, err := scalar.Query(pats[p])
+			if err != nil {
+				t.Fatal(err)
+			}
+			UnpackPattern(out, p, got)
+			if !bytes.Equal(boolBytes(got), boolBytes(want)) {
+				t.Fatalf("pattern %d: batched response differs from scalar", p)
+			}
+		}
+	})
+}
+
+// faultyChip wraps a real chip and fails selected protocol steps, to
+// check the oracle restores scan enable on every error path.
+type faultyChip struct {
+	*scan.Chip
+	failScanIn  bool
+	failCapture bool
+	failScanOut bool
+	failBatch   bool
+}
+
+func (f *faultyChip) ScanInFFs(v []bool) error {
+	if f.failScanIn {
+		return fmt.Errorf("injected scan-in fault")
+	}
+	return f.Chip.ScanInFFs(v)
+}
+
+func (f *faultyChip) CaptureClock(pins []bool) ([]bool, error) {
+	if f.failCapture {
+		return nil, fmt.Errorf("injected capture fault")
+	}
+	return f.Chip.CaptureClock(pins)
+}
+
+func (f *faultyChip) ScanOutFFs() ([]bool, error) {
+	if f.failScanOut {
+		return nil, fmt.Errorf("injected scan-out fault")
+	}
+	return f.Chip.ScanOutFFs()
+}
+
+func (f *faultyChip) ScanBatch(in []uint64, n int) ([]uint64, error) {
+	if f.failBatch {
+		f.Chip.SetScanEnable(true) // leave the chip mid-protocol
+		return nil, fmt.Errorf("injected batch fault")
+	}
+	return f.Chip.ScanBatch(in, n)
+}
+
+func TestScanOracleRestoresScanEnableOnError(t *testing.T) {
+	// Regression: a failed ScanInFFs/ScanOutFFs used to return with scan
+	// enable still asserted, so the next query's SetScanEnable(true) saw
+	// no rising edge — on an OraP chip that skips the key-register clear.
+	cases := []struct {
+		name  string
+		arm   func(f *faultyChip)
+		batch bool
+	}{
+		{"scan-in", func(f *faultyChip) { f.failScanIn = true }, false},
+		{"scan-out", func(f *faultyChip) { f.failScanOut = true }, false},
+		{"capture", func(f *faultyChip) { f.failCapture = true }, false},
+		{"batch", func(f *faultyChip) { f.failBatch = true }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, ch := protectedChip(t, scan.OraPBasic, 44)
+			f := &faultyChip{Chip: ch}
+			o := &Scan{chip: f}
+			tc.arm(f)
+			var err error
+			if tc.batch {
+				_, err = o.QueryWords(make([]uint64, o.NumInputs()), 4)
+			} else {
+				_, err = o.Query(make([]bool, o.NumInputs()))
+			}
+			if err == nil {
+				t.Fatal("injected fault did not surface")
+			}
+			if f.ScanEnable() {
+				t.Fatal("scan enable left asserted after a failed query")
+			}
+			// The channel must be usable again right away.
+			f.failScanIn, f.failCapture, f.failScanOut, f.failBatch = false, false, false, false
+			if _, err := o.Query(make([]bool, o.NumInputs())); err != nil {
+				t.Fatalf("query after recovered fault failed: %v", err)
+			}
+		})
+	}
+}
+
+func boolBytes(bs []bool) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -6,6 +6,23 @@ import (
 	"orap/internal/scan"
 )
 
+// chipPort is the slice of the scan.Chip surface the oracle drives. The
+// seam exists so tests can inject shift/capture failures and assert the
+// oracle restores the chip to a consistent state (scan enable low) on
+// every error path.
+type chipPort interface {
+	Config() scan.Config
+	ScanEnable() bool
+	SetScanEnable(v bool)
+	ScanInFFs(v []bool) error
+	CaptureClock(pins []bool) ([]bool, error)
+	ScanOutFFs() ([]bool, error)
+	ScanBatch(in []uint64, n int) ([]uint64, error)
+	ChainLength() int
+}
+
+var _ chipPort = (*scan.Chip)(nil)
+
 // Scan is the realistic oracle: every query goes through the chip's scan
 // infrastructure exactly as the paper describes — raise scan enable,
 // shift the pattern into the flip-flops, drop scan enable for one capture
@@ -16,8 +33,14 @@ import (
 // attacks work. On an OraP chip the rising scan-enable edge cleared the
 // key register before the first shift, so every response belongs to the
 // locked circuit.
+//
+// Scan implements WordOracle: a batched query carries up to 64 patterns
+// through scan.Chip.ScanBatch, which replays the per-pattern scan-enable
+// protocol (self-clear included) and evaluates all captures in one
+// word-parallel pass. It also implements ChannelCost with the paper's
+// cost model, 2·chain-length+1 test clocks per query.
 type Scan struct {
-	chip    *scan.Chip
+	chip    chipPort
 	queries int
 }
 
@@ -37,6 +60,9 @@ func (o *Scan) NumInputs() int { return o.chip.Config().Core.NumInputs() }
 func (o *Scan) NumOutputs() int { return o.chip.Config().Core.NumOutputs() }
 
 // Query implements Oracle via the scan in – capture – scan out protocol.
+// On any protocol error the oracle drops scan enable before returning,
+// so a failed query leaves the chip ready for the next one instead of
+// parked in scan mode.
 func (o *Scan) Query(x []bool) ([]bool, error) {
 	cfg := o.chip.Config()
 	if len(x) != cfg.Core.NumInputs() {
@@ -48,6 +74,7 @@ func (o *Scan) Query(x []bool) ([]bool, error) {
 
 	o.chip.SetScanEnable(true) // rising edge: OraP clears the key register
 	if err := o.chip.ScanInFFs(ffPart); err != nil {
+		o.chip.SetScanEnable(false)
 		return nil, err
 	}
 	o.chip.SetScanEnable(false)
@@ -58,6 +85,7 @@ func (o *Scan) Query(x []bool) ([]bool, error) {
 	o.chip.SetScanEnable(true)
 	ffOut, err := o.chip.ScanOutFFs()
 	if err != nil {
+		o.chip.SetScanEnable(false)
 		return nil, err
 	}
 	o.chip.SetScanEnable(false)
@@ -66,6 +94,28 @@ func (o *Scan) Query(x []bool) ([]bool, error) {
 	resp = append(resp, ffOut...)
 	return resp, nil
 }
+
+// QueryWords implements WordOracle: up to 64 patterns per interface
+// crossing, delegated to the chip's batched scan protocol.
+func (o *Scan) QueryWords(in []uint64, n int) ([]uint64, error) {
+	if err := checkBatch(o, in, n); err != nil {
+		return nil, err
+	}
+	out, err := o.chip.ScanBatch(in, n)
+	if err != nil {
+		if o.chip.ScanEnable() {
+			o.chip.SetScanEnable(false)
+		}
+		return nil, err
+	}
+	o.queries += n
+	return out, nil
+}
+
+// QueryCycles implements ChannelCost: one scan-protocol query costs
+// chain-length clocks to shift in, one capture clock, and chain-length
+// clocks to shift out.
+func (o *Scan) QueryCycles() int64 { return 2*int64(o.chip.ChainLength()) + 1 }
 
 // Queries implements Oracle.
 func (o *Scan) Queries() int { return o.queries }

@@ -190,6 +190,16 @@ type Chip struct {
 	// core; every capture clock goes through it.
 	core *sim.Evaluator
 
+	// batch is the lazily built word-parallel evaluator behind ScanBatch
+	// (batch.go); it shares core's compiled program.
+	batch *sim.Parallel
+
+	// cycles counts test-clock cycles spent on the scan interface:
+	// chain-length clocks per shift operation, one per capture or shift
+	// cycle. Unlock is the activation procedure, not attacker channel
+	// use, and is not counted.
+	cycles int64
+
 	// layout, when attached via SetLayout, enables the cycle-accurate
 	// shift interface (shift.go).
 	layout *Layout
@@ -222,6 +232,37 @@ func (ch *Chip) ArmTrojans(t Trojans) { ch.trojans = t }
 
 // ScanEnable returns the current scan-enable level.
 func (ch *Chip) ScanEnable() bool { return ch.se }
+
+// ChainLength returns the length of the longest scan chain in shift
+// cycles. With a layout attached this is the longest configured chain;
+// otherwise the model assumes a single chain threading every flip-flop
+// plus, on a protected chip, every key-register cell (the cells sit in
+// the chains by design).
+func (ch *Chip) ChainLength() int {
+	if ch.layout != nil {
+		m := 0
+		for _, chain := range ch.layout.Chains {
+			if len(chain) > m {
+				m = len(chain)
+			}
+		}
+		return m
+	}
+	n := len(ch.ff)
+	if ch.cfg.Protection != None {
+		n += ch.keyReg.Len()
+	}
+	return n
+}
+
+// CyclesPerQuery returns the modeled test-clock cost of one scan-protocol
+// query: shift in (chain length), one capture clock, shift out (chain
+// length) — 2·L+1.
+func (ch *Chip) CyclesPerQuery() int64 { return 2*int64(ch.ChainLength()) + 1 }
+
+// Cycles returns the test-clock cycles spent on the scan interface so
+// far (shift and capture clocks; the unlock procedure is not counted).
+func (ch *Chip) Cycles() int64 { return ch.cycles }
 
 // Unlocked reports whether the controller believes the chip is unlocked
 // (an unlock sequence ran and the key register was not cleared since).
@@ -256,6 +297,7 @@ func (ch *Chip) ScanInFFs(v []bool) error {
 		return fmt.Errorf("scan: %d bits for %d flip-flops", len(v), len(ch.ff))
 	}
 	copy(ch.ff, v)
+	ch.cycles += int64(ch.ChainLength())
 	return nil
 }
 
@@ -274,6 +316,7 @@ func (ch *Chip) ScanInKey(v []bool) error {
 	}
 	ch.keyReg = gf2.FromBools(v)
 	ch.unlocked = false
+	ch.cycles += int64(ch.ChainLength())
 	return nil
 }
 
@@ -282,6 +325,7 @@ func (ch *Chip) ScanOutFFs() ([]bool, error) {
 	if !ch.se {
 		return nil, fmt.Errorf("scan: ScanOutFFs outside scan mode")
 	}
+	ch.cycles += int64(ch.ChainLength())
 	return append([]bool(nil), ch.ff...), nil
 }
 
@@ -295,6 +339,7 @@ func (ch *Chip) ScanOutKey() ([]bool, error) {
 	if ch.cfg.Protection == None {
 		return nil, fmt.Errorf("scan: conventional key register is not scannable")
 	}
+	ch.cycles += int64(ch.ChainLength())
 	return ch.keyReg.Bools(), nil
 }
 
@@ -331,6 +376,7 @@ func (ch *Chip) CaptureClock(pins []bool) ([]bool, error) {
 		return nil, err
 	}
 	copy(ch.ff, out[ch.cfg.RealPOs:])
+	ch.cycles++
 	return out[:ch.cfg.RealPOs], nil
 }
 

@@ -74,6 +74,7 @@ func (ch *Chip) ShiftCycle(in []bool) ([]bool, error) {
 	if ch.cfg.Protection != None {
 		ch.unlocked = false
 	}
+	ch.cycles++
 	return out, nil
 }
 
