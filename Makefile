@@ -49,11 +49,13 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'Serial|Parallel' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'CloneRelease|NewParallelNoPool' -benchmem ./internal/sim
 
-# One-iteration compile-and-run pass over the SAT-engine benchmarks:
-# the legacy-vs-COI miter attack pair and the propagation microbench.
-# Catches benchmark bit-rot in CI without paying for stable timings.
+# One-iteration compile-and-run pass over the SAT-engine and dataflow
+# benchmarks: the legacy-vs-COI miter attack pair, the propagation
+# microbench, and the five-domain fixpoint sweep (whose worker-
+# invariance assertion runs before the timer). Catches benchmark
+# bit-rot in CI without paying for stable timings.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate' -benchtime 1x ./internal/attack ./internal/sat
+	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate|Dataflow' -benchtime 1x ./internal/attack ./internal/sat ./internal/dataflow
 
 # Machine-readable oracle-channel benchmarks: the serial-vs-batched pairs
 # (scan protocol, disagreement sampling, AppSAT settlement) plus the

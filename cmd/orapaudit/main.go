@@ -7,6 +7,7 @@
 //
 //	orapaudit locked.bench ...       # audit netlists, text report
 //	orapaudit -json locked.bench     # machine-readable report
+//	orapaudit -explain locked.bench  # append witness paths to key findings
 //	orapaudit -min-corrupt 4 x.bench # raise the corruptibility threshold
 //	orapaudit -sweep                 # built-in clean-sweep regression gate
 //
@@ -34,6 +35,7 @@ import (
 
 	"orap/internal/audit"
 	"orap/internal/check"
+	"orap/internal/ir"
 )
 
 // Exit codes.
@@ -94,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit the report as JSON")
 		wall       = fs.Bool("Wall", false, "also print internal/check warnings while loading")
 		sweep      = fs.Bool("sweep", false, "run the built-in clean-sweep regression gate and exit")
+		explain    = fs.Bool("explain", false, "append a key-to-node witness path to each key-anchored finding (text mode)")
 		minCorrupt = fs.Int("min-corrupt", 0, "low-corruptibility threshold in primary outputs (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,11 +138,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			raise(exitErrors)
 			continue
 		}
-		rep, err := audit.Analyze(c, opts)
+		prog, err := ir.Compile(c)
 		if err != nil {
 			fmt.Fprintf(stderr, "orapaudit: %s: %v\n", path, err)
 			return exitInternal
 		}
+		rep := audit.AnalyzeProgram(prog, c, opts)
 		errs, warns, infos := rep.Counts()
 		switch {
 		case errs > 0:
@@ -151,7 +155,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			reports = append(reports, toJSON(rep))
 			continue
 		}
-		fmt.Fprint(stdout, rep.String())
+		if *explain {
+			printExplained(stdout, prog, c, rep)
+		} else {
+			fmt.Fprint(stdout, rep.String())
+		}
 		fmt.Fprintf(stdout, "%s: %d errors, %d warnings, %d notes\n", path, errs, warns, infos)
 	}
 	if *jsonOut {

@@ -197,6 +197,7 @@ func (v *vetter) load(path string) (*vetPkg, error) {
 	}
 	p.info = &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
@@ -379,42 +380,160 @@ var printFamily = map[string]bool{
 // ruleNoSecret flags fmt print-family calls in internal/ packages whose
 // arguments are raw key material: values of static type []bool whose
 // base identifier names key bits, or values of the gf2.Vec bit-vector
-// type. internal/redact is the sanctioned way to format either.
+// type. The key-naming heuristic sees through single-assignment local
+// aliases (`k := cfg.Key; fmt.Println(k)` still fires); a local that is
+// ever reassigned no longer provably holds the aliased value and is
+// judged by its own name. internal/redact is the sanctioned way to
+// format either shape.
 func (v *vetter) ruleNoSecret(p *vetPkg, f *ast.File) {
 	if p.path == v.modPath+"/internal/redact" {
 		return // the redacting formatter's own package
 	}
 	gf2Path := v.modPath + "/internal/gf2"
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, decl := range f.Decls {
+		var aliases map[types.Object]string
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			aliases = v.secretAliases(p, fd.Body)
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := p.info.Uses[sel.Sel].(*types.Func)
-		if !ok || !printFamily[fn.FullName()] {
-			return true
-		}
-		for _, arg := range call.Args {
-			tv, ok := p.info.Types[arg]
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
 			if !ok {
-				continue
+				return true
 			}
-			name := baseName(arg)
-			switch {
-			case isGF2Vec(tv.Type, gf2Path):
-				v.report(arg.Pos(), RuleNoSecret,
-					"%s passes gf2.Vec %q; format it with internal/redact.Vec", fn.FullName(), name)
-			case isBoolSlice(tv.Type) && strings.Contains(strings.ToLower(name), "key"):
-				v.report(arg.Pos(), RuleNoSecret,
-					"%s passes raw key bits %q; format them with internal/redact.Key", fn.FullName(), name)
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+			if !ok || !printFamily[fn.FullName()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := p.info.Types[arg]
+				if !ok {
+					continue
+				}
+				name := baseName(arg)
+				resolved, viaAlias := name, false
+				if al := v.aliasedName(p, aliases, arg); al != "" && al != name {
+					resolved, viaAlias = al, true
+				}
+				switch {
+				case isGF2Vec(tv.Type, gf2Path):
+					v.report(arg.Pos(), RuleNoSecret,
+						"%s passes gf2.Vec %q; format it with internal/redact.Vec", fn.FullName(), name)
+				case isBoolSlice(tv.Type) && strings.Contains(strings.ToLower(resolved), "key"):
+					if viaAlias {
+						v.report(arg.Pos(), RuleNoSecret,
+							"%s passes raw key bits %q (aliased from %q); format them with internal/redact.Key", fn.FullName(), name, resolved)
+					} else {
+						v.report(arg.Pos(), RuleNoSecret,
+							"%s passes raw key bits %q; format them with internal/redact.Key", fn.FullName(), name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// secretAliases maps the single-assignment locals of one function body
+// to the name of the value they alias, resolved through alias chains
+// (`k := cfg.Key; k2 := k` resolves k2 to "Key"). A local written more
+// than once — its defining `:=` plus any later assignment, anywhere in
+// the body including closures — is dropped: it no longer provably holds
+// the aliased value at the print site.
+func (v *vetter) secretAliases(p *vetPkg, body *ast.BlockStmt) map[types.Object]string {
+	writes := map[types.Object]int{}
+	cand := map[types.Object]ast.Expr{}
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := p.info.Defs[id]; obj != nil {
+			return obj
+		}
+		return p.info.Uses[id]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				obj := lhsObj(lhs)
+				if obj == nil {
+					continue
+				}
+				writes[obj]++
+				if st.Tok == token.DEFINE && len(st.Lhs) == len(st.Rhs) {
+					cand[obj] = st.Rhs[i]
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := lhsObj(st.Key); obj != nil {
+				writes[obj]++
+			}
+			if st.Value != nil {
+				if obj := lhsObj(st.Value); obj != nil {
+					writes[obj]++
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := lhsObj(st.X); obj != nil {
+				writes[obj]++
 			}
 		}
 		return true
 	})
+	out := map[types.Object]string{}
+	var resolve func(obj types.Object, depth int) string
+	resolve = func(obj types.Object, depth int) string {
+		if depth > 8 {
+			return ""
+		}
+		expr, ok := cand[obj]
+		if !ok || writes[obj] != 1 {
+			return ""
+		}
+		if id, ok := expr.(*ast.Ident); ok {
+			if src := p.info.Uses[id]; src != nil {
+				if through := resolve(src, depth+1); through != "" {
+					return through
+				}
+			}
+			return id.Name
+		}
+		return baseName(expr)
+	}
+	for obj := range cand {
+		if name := resolve(obj, 0); name != "" {
+			out[obj] = name
+		}
+	}
+	return out
+}
+
+// aliasedName resolves a print argument through the function's alias
+// map: when the argument reads a single-assignment local, the name of
+// the value it aliases is returned ("" otherwise).
+func (v *vetter) aliasedName(p *vetPkg, aliases map[types.Object]string, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := p.info.Uses[x]; obj != nil {
+				return aliases[obj]
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
 }
 
 // baseName digs out the identifier an argument expression reads from,

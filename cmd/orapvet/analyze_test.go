@@ -45,11 +45,11 @@ func one(t *testing.T, rule, ident string) Finding {
 
 func TestFixtureFindingCount(t *testing.T) {
 	fs := fixture(t)
-	if len(fs) != 9 {
+	if len(fs) != 10 {
 		for _, f := range fs {
 			t.Log(f)
 		}
-		t.Fatalf("fixture produced %d findings, want 9", len(fs))
+		t.Fatalf("fixture produced %d findings, want 10", len(fs))
 	}
 	for _, f := range fs {
 		if !strings.Contains(f.Pos.Filename, filepath.Join("internal", "bad")) {
@@ -96,7 +96,7 @@ func TestShortRaceRule(t *testing.T) {
 }
 
 func TestNoSecretRule(t *testing.T) {
-	bits := one(t, RuleNoSecret, "raw key bits")
+	bits := one(t, RuleNoSecret, `raw key bits "key"`)
 	vec := one(t, RuleNoSecret, "gf2.Vec")
 	if !strings.HasSuffix(bits.Pos.Filename, "secret.go") || bits.Pos.Line != 12 {
 		t.Errorf("nosecret []bool case at %s:%d, want secret.go:12", bits.Pos.Filename, bits.Pos.Line)
@@ -106,6 +106,29 @@ func TestNoSecretRule(t *testing.T) {
 	}
 	if !strings.Contains(bits.Msg, "fmt.Println") || !strings.Contains(vec.Msg, "fmt.Printf") {
 		t.Errorf("nosecret messages missing the offending call: %q / %q", bits.Msg, vec.Msg)
+	}
+}
+
+// TestNoSecretAliasRule pins the single-assignment alias case: the
+// print of the alias fires with its resolved source name, while the
+// reassigned local and the innocuously named alias stay clean.
+func TestNoSecretAliasRule(t *testing.T) {
+	alias := one(t, RuleNoSecret, "aliased from")
+	if !strings.HasSuffix(alias.Pos.Filename, "secret.go") {
+		t.Errorf("nosecret alias case in %s, want secret.go", alias.Pos.Filename)
+	}
+	if !strings.Contains(alias.Msg, `raw key bits "k"`) || !strings.Contains(alias.Msg, `(aliased from "Key")`) {
+		t.Errorf("alias finding must name the local and its source: %q", alias.Msg)
+	}
+	secretFindings := 0
+	for _, f := range fixture(t) {
+		if f.Rule == RuleNoSecret && strings.HasSuffix(f.Pos.Filename, "secret.go") {
+			secretFindings++
+		}
+	}
+	if secretFindings != 3 {
+		t.Errorf("secret.go produced %d nosecret findings, want 3 (direct, gf2.Vec, alias); "+
+			"the reassigned and harmless aliases must stay clean", secretFindings)
 	}
 }
 

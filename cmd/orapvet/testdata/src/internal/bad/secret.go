@@ -15,3 +15,22 @@ func DumpKey(key []bool) {
 func DumpSeed(seed gf2.Vec) {
 	fmt.Printf("seed=%v\n", seed)
 }
+
+// The alias must fire: k provably still holds cfg.Key at the print.
+func DumpAliasedKey(cfg struct{ Key []bool }) {
+	k := cfg.Key
+	fmt.Println(k)
+}
+
+// A reassigned local no longer aliases the key — must stay clean.
+func DumpReassignedLocal(cfg struct{ Key []bool }, other []bool) {
+	k := cfg.Key
+	k = other
+	fmt.Println(k)
+}
+
+// An alias of innocuous bits must stay clean.
+func DumpHarmlessAlias(bits []bool) {
+	vals := bits
+	fmt.Println(vals)
+}

@@ -32,6 +32,20 @@
 //     primary outputs than a threshold; a wrong guess at that bit is
 //     almost never observed, which is what approximate attacks
 //     (AppSAT) exploit. Warning.
+//   - key-leak: a key bit that is linearly separable at a primary
+//     output — the output provably flips with the bit under every
+//     input pattern, so a single scan capture of the activated chip
+//     reveals the bit. Warning.
+//   - testability-bound: a gate whose SCOAP stuck-at detect difficulty
+//     exceeds a threshold; random patterns are unlikely to cover it,
+//     and point-function locking hides exactly there. Info.
+//
+// The netlist rules all run on one shared abstract-interpretation
+// engine (internal/dataflow): the pair/key-difference domain drives
+// key-removable and key-leak, the key-taint domain drives
+// low-corruptibility, and the SCOAP controllability/observability
+// domains drive testability-bound. Explain reconstructs per-finding
+// witness paths from the same fixpoints.
 //
 // Oracle-path rules (Oracle/ProbeChip):
 //
@@ -61,6 +75,7 @@ package audit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"orap/internal/check"
@@ -81,6 +96,12 @@ const (
 	// RuleLowCorruptibility: a key bit whose cone covers fewer primary
 	// outputs than the threshold. Warning.
 	RuleLowCorruptibility = "low-corruptibility"
+	// RuleKeyLeak: a key bit linearly separable at a primary output —
+	// one oracle response reveals it. Warning.
+	RuleKeyLeak = "key-leak"
+	// RuleTestabilityBound: a gate whose SCOAP stuck-at detect
+	// difficulty exceeds the threshold. Info.
+	RuleTestabilityBound = "testability-bound"
 	// RuleOracleUnprotected: conventional scan exposes the unlocked
 	// core to the tester. Error.
 	RuleOracleUnprotected = "oracle-unprotected"
@@ -162,6 +183,33 @@ type Report struct {
 }
 
 func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// ruleRank orders the netlist rules in catalog order for the canonical
+// report sort. Oracle-path rules never mix with netlist findings in one
+// report, so they need no rank.
+var ruleRank = map[string]int{
+	RuleKeyRemovable:      0,
+	RuleKeyFingerprint:    1,
+	RuleLowCorruptibility: 2,
+	RuleKeyLeak:           3,
+	RuleTestabilityBound:  4,
+}
+
+// sort puts the findings in the canonical order: rule in catalog order,
+// then node ID, then key bit. The stable sort keeps the per-rule
+// emission order for findings sharing all three keys.
+func (r *Report) sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if ra, rb := ruleRank[a.Rule], ruleRank[b.Rule]; ra != rb {
+			return ra < rb
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.KeyBit < b.KeyBit
+	})
+}
 
 // HasErrors reports whether any finding has error severity.
 func (r *Report) HasErrors() bool {
@@ -250,6 +298,9 @@ type Options struct {
 	// of a multi-output circuit is flagged, single-output circuits
 	// never are.
 	MinCorruptPOs int
+	// TestabilityThreshold is the SCOAP detect-difficulty level at
+	// which testability-bound fires. 0 selects the default (50).
+	TestabilityThreshold int
 }
 
 // Circuit audits a locked netlist with default options. The circuit
@@ -279,9 +330,13 @@ func AnalyzeProgram(prog *ir.Program, c *netlist.Circuit, opts Options) *Report 
 	if prog.NumKeys() == 0 {
 		return rep
 	}
-	inert := removability(prog, c, rep)
+	e := newEngine(prog)
+	inert := removability(e, c, rep)
 	fingerprints(prog, c, rep)
-	corruptibility(prog, c, rep, opts, inert)
+	corruptibility(e, c, rep, opts, inert)
+	keyLeaks(e, c, rep)
+	testabilityBound(e, c, rep, opts)
+	rep.sort()
 	return rep
 }
 

@@ -2,7 +2,6 @@ package audit
 
 import (
 	"orap/internal/check"
-	"orap/internal/ir"
 	"orap/internal/netlist"
 )
 
@@ -19,7 +18,12 @@ import (
 // corruptibility emits the low-corruptibility findings. Key bits the
 // removability pass already proved inert are skipped — a removable bit
 // corrupts nothing, and the removability finding is the sharper one.
-func corruptibility(p *ir.Program, c *netlist.Circuit, rep *Report, opts Options, inert []bool) {
+// PO coverage is read off the engine's key-taint fixpoint: a primary
+// output carries key bit kb's taint exactly when it lies in kb's
+// transitive fanout cone, so one taint pass replaces the per-bit cone
+// walks.
+func corruptibility(e *engine, c *netlist.Circuit, rep *Report, opts Options, inert []bool) {
+	p := e.p
 	nPO := p.NumOutputs()
 	thr := opts.MinCorruptPOs
 	if thr <= 0 {
@@ -34,10 +38,9 @@ func corruptibility(p *ir.Program, c *netlist.Circuit, rep *Report, opts Options
 		if inert[kb] {
 			continue
 		}
-		cone := p.TransitiveFanout(int(kid))
 		covered := 0
 		for _, o := range p.POs {
-			if cone[o] {
+			if e.taint[o].Has(kb) {
 				covered++
 			}
 		}

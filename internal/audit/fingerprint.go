@@ -2,6 +2,7 @@ package audit
 
 import (
 	"orap/internal/check"
+	"orap/internal/dataflow"
 	"orap/internal/ir"
 	"orap/internal/netlist"
 )
@@ -151,28 +152,38 @@ func uniqueFanouts(p *ir.Program, id int) []int {
 	return out
 }
 
-// keyOnlyNodes marks the nodes whose value is a function of key inputs
-// (and constants) only — the candidate control-cone gates.
-func keyOnlyNodes(p *ir.Program, isKeyInput []bool) []bool {
-	out := make([]bool, p.NumNodes())
-	for _, id32 := range p.Order {
-		id := int(id32)
-		switch p.Ops[id] {
-		case ir.OpInput:
-			out[id] = isKeyInput[id]
-			continue
-		case ir.OpConst0, ir.OpConst1:
-			out[id] = true
-			continue
-		}
-		all := true
-		for _, f := range p.FaninSpan(id) {
-			if !out[f] {
-				all = false
-				break
-			}
-		}
-		out[id] = all
+// keyOnly is the control-cone analysis as an engine domain: a node is
+// key-only when its value is a function of key inputs and constants
+// alone — the candidate control-cone gates. The lattice is the booleans
+// under conjunction (key-only is the precise fact, losing it is the
+// join direction).
+type keyOnly struct {
+	p     *ir.Program
+	isKey []bool
+}
+
+func (d *keyOnly) Direction() dataflow.Direction { return dataflow.Forward }
+func (d *keyOnly) Bottom() bool                  { return true }
+func (d *keyOnly) Join(a, b bool) bool           { return a && b }
+func (d *keyOnly) Equal(a, b bool) bool          { return a == b }
+
+func (d *keyOnly) Transfer(id int, get func(int) bool) bool {
+	switch d.p.Ops[id] {
+	case ir.OpInput:
+		return d.isKey[id]
+	case ir.OpConst0, ir.OpConst1:
+		return true
 	}
-	return out
+	for _, f := range d.p.FaninSpan(id) {
+		if !get(int(f)) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyOnlyNodes marks the nodes whose value is a function of key inputs
+// (and constants) only, by solving the keyOnly domain.
+func keyOnlyNodes(p *ir.Program, isKeyInput []bool) []bool {
+	return dataflow.Run[bool](p, &keyOnly{p: p, isKey: isKeyInput}, dataflow.Options{Workers: 1})
 }

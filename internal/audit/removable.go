@@ -2,79 +2,54 @@ package audit
 
 import (
 	"orap/internal/check"
-	"orap/internal/ir"
+	"orap/internal/dataflow"
 	"orap/internal/netlist"
 )
 
-// The removability analysis runs constant propagation once per key bit
-// under each of its two values, all other inputs unknown. Tracking the
-// two passes jointly matters: XOR(x, k) is unknown under both values of
-// k, yet its concrete value always differs between them — a naive
-// two-pass diff would call it key-independent. Each node therefore
-// carries a pair of three-valued results plus an equality proof:
+// The removability analysis runs the engine's pair/key-difference
+// domain once per key bit: constant propagation under both of the bit's
+// values, all other inputs unknown, tracked jointly (see
+// dataflow.PairValue for why a naive two-pass diff is unsound). A key
+// bit with the Eq proof at every primary output is provably inert; a
+// gate that is constant under both key values while a non-Eq signal
+// feeds it absorbs the key dependence — both are exactly what a
+// resynthesis pass deletes.
 //
-//	eq[n] = (both values known and equal) ∨ (every fanin of n is eq)
-//
-// eq is sound (eq[n] implies n's concrete value cannot depend on the
-// key bit, for any assignment of the unknowns), and by induction eq[n]
-// also implies the two lattice values coincide. A key bit with eq at
-// every primary output is provably inert; a gate that is constant under
-// both key values while a non-eq signal feeds it absorbs the key
-// dependence — both are exactly what a resynthesis pass deletes.
-
-const unknown = int8(-1)
+// The per-bit pass is incremental: one base fixpoint with no key
+// selected, then per key bit a Rerun seeded at the key input. Only the
+// bit's fanout cone is re-transferred (in topological order, so the
+// findings come out in the same order a full sweep produced), and the
+// visited slice is what the restore loop and the key-leak collector
+// scan. Along the way the pass also harvests the Anti proofs at the
+// primary outputs — the key-leak rule's evidence — so the leak scan
+// costs nothing extra.
 
 // removability emits the key-removable findings and returns, per key
-// bit, whether the bit is inert (no primary output depends on it).
-func removability(p *ir.Program, c *netlist.Circuit, rep *Report) []bool {
-	n := p.NumNodes()
-	v0 := make([]int8, n)
-	v1 := make([]int8, n)
-	eq := make([]bool, n)
+// bit, whether the bit is inert (no primary output depends on it). The
+// Anti-at-PO witnesses are stored on the engine for keyLeaks.
+func removability(e *engine, c *netlist.Circuit, rep *Report) []bool {
+	p := e.p
+	d := dataflow.NewPair(p)
+	base := dataflow.Run[dataflow.PairValue](p, d, dataflow.Options{Workers: 1})
+	vals := make([]dataflow.PairValue, len(base))
+	copy(vals, base)
 	inert := make([]bool, p.NumKeys())
+	e.leaks = make([][]int32, p.NumKeys())
 
 	for kb, kid := range p.Keys {
-		for _, id32 := range p.Order {
+		d.SetKey(kid)
+		visited := dataflow.Rerun[dataflow.PairValue](p, d, vals, kid)
+		for _, id32 := range visited {
 			id := int(id32)
-			switch p.Ops[id] {
-			case ir.OpInput:
-				if id32 == kid {
-					v0[id], v1[id], eq[id] = 0, 1, false
-				} else {
-					v0[id], v1[id], eq[id] = unknown, unknown, true
-				}
-				continue
-			case ir.OpConst0:
-				v0[id], v1[id], eq[id] = 0, 0, true
-				continue
-			case ir.OpConst1:
-				v0[id], v1[id], eq[id] = 1, 1, true
-				continue
-			}
-			fi := p.FaninSpan(id)
-			a := foldOp(p.Ops[id], fi, v0)
-			b := foldOp(p.Ops[id], fi, v1)
-			v0[id], v1[id] = a, b
-			if a != unknown && b != unknown {
-				eq[id] = a == b
-			} else {
-				all := true
-				for _, f := range fi {
-					if !eq[f] {
-						all = false
-						break
-					}
-				}
-				eq[id] = all
-			}
-			if eq[id] && a != unknown {
+			v := vals[id]
+			if v.Eq && v.V0 != dataflow.Unknown {
 				// Constant under both key values: if a key-dependent
 				// signal feeds this gate, the dependence dies here.
-				for _, f := range fi {
-					if !eq[f] {
+				for _, f := range p.FaninSpan(id) {
+					if !vals[f].Eq {
 						rep.add(finding(c, RuleKeyRemovable, check.Warning, kb, id, RefResynthesis,
 							"%v gate %q is constant %d under both values of key bit %d (%q); the key dependence entering it is absorbed and resynthesis strips the key logic",
-							p.Ops[id], c.NameOf(id), a, kb, c.NameOf(int(kid))))
+							p.Ops[id], c.NameOf(id), v.V0, kb, c.NameOf(int(kid))))
 						break
 					}
 				}
@@ -83,98 +58,32 @@ func removability(p *ir.Program, c *netlist.Circuit, rep *Report) []bool {
 
 		depends := false
 		for _, o := range p.POs {
-			if !eq[o] {
+			if !vals[o].Eq {
 				depends = true
-				break
+			}
+			if vals[o].Anti {
+				e.leaks[kb] = append(e.leaks[kb], o)
 			}
 		}
-		if depends {
-			continue
+		if !depends {
+			inert[kb] = true
+			if len(p.FanoutSpan(int(kid))) == 0 {
+				// Scheme artifact (weighted locking's remainder bits):
+				// dead key material, same policy as check's key-unobservable
+				// warning tier.
+				rep.add(finding(c, RuleKeyRemovable, check.Warning, kb, int(kid), RefResynthesis,
+					"key input %q (bit %d) drives no gate; dead key material a resynthesis pass drops", c.NameOf(int(kid)), kb))
+			} else {
+				rep.add(finding(c, RuleKeyRemovable, check.Error, kb, int(kid), RefResynthesis,
+					"no primary output depends on key bit %d (%q) under two-valued constant propagation; its key logic is removable", kb, c.NameOf(int(kid))))
+			}
 		}
-		inert[kb] = true
-		if len(p.FanoutSpan(int(kid))) == 0 {
-			// Scheme artifact (weighted locking's remainder bits):
-			// dead key material, same policy as check's key-unobservable
-			// warning tier.
-			rep.add(finding(c, RuleKeyRemovable, check.Warning, kb, int(kid), RefResynthesis,
-				"key input %q (bit %d) drives no gate; dead key material a resynthesis pass drops", c.NameOf(int(kid)), kb))
-		} else {
-			rep.add(finding(c, RuleKeyRemovable, check.Error, kb, int(kid), RefResynthesis,
-				"no primary output depends on key bit %d (%q) under two-valued constant propagation; its key logic is removable", kb, c.NameOf(int(kid))))
+
+		// Put the visited cone back to the keyless base fixpoint so the
+		// next bit starts from a clean slate.
+		for _, id := range visited {
+			vals[id] = base[id]
 		}
 	}
 	return inert
-}
-
-// foldOp evaluates one gate over the three-valued lattice, mirroring
-// check's constant folder (including the degenerate XOR(x, x) shape)
-// on the compiled opcode/CSR view.
-func foldOp(op ir.Op, fanins []int32, val []int8) int8 {
-	switch op {
-	case ir.OpBuf:
-		return val[fanins[0]]
-	case ir.OpNot:
-		if v := val[fanins[0]]; v != unknown {
-			return 1 - v
-		}
-		return unknown
-	case ir.OpAnd, ir.OpNand:
-		out := int8(1)
-		for _, f := range fanins {
-			switch val[f] {
-			case 0:
-				out = 0
-			case unknown:
-				if out != 0 {
-					out = unknown
-				}
-			}
-		}
-		if out == unknown {
-			return unknown
-		}
-		if op == ir.OpNand {
-			return 1 - out
-		}
-		return out
-	case ir.OpOr, ir.OpNor:
-		out := int8(0)
-		for _, f := range fanins {
-			switch val[f] {
-			case 1:
-				out = 1
-			case unknown:
-				if out != 1 {
-					out = unknown
-				}
-			}
-		}
-		if out == unknown {
-			return unknown
-		}
-		if op == ir.OpNor {
-			return 1 - out
-		}
-		return out
-	case ir.OpXor, ir.OpXnor:
-		if len(fanins) == 2 && fanins[0] == fanins[1] {
-			if op == ir.OpXor {
-				return 0
-			}
-			return 1
-		}
-		parity := int8(0)
-		for _, f := range fanins {
-			v := val[f]
-			if v == unknown {
-				return unknown
-			}
-			parity ^= v
-		}
-		if op == ir.OpXnor {
-			return 1 - parity
-		}
-		return parity
-	}
-	return unknown
 }

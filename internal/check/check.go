@@ -27,8 +27,11 @@ package check
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"orap/internal/dataflow"
+	"orap/internal/ir"
 	"orap/internal/netlist"
 )
 
@@ -139,6 +142,34 @@ type Report struct {
 
 func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
 
+// ruleRank is the catalog order of the rule IDs, the primary sort key
+// of a report's diagnostics.
+var ruleRank = map[string]int{
+	RuleCycle: 0, RuleUndriven: 1, RuleArity: 2,
+	RuleDangling: 3, RuleDeadCone: 4, RuleUnusedInput: 5, RuleConstOut: 6,
+	RuleKeyUnobservable: 7, RuleKeyNaming: 8, RuleKeyGateShape: 9,
+	RuleSyntax: 10, RuleUnknownOp: 11, RuleDupDef: 12,
+	RuleMultiDriven: 13, RuleUndefined: 14, RuleIO: 15,
+}
+
+// sort orders Diags canonically — rule catalog order, then node ID,
+// then source line — so a report renders identically no matter which
+// order the rules emitted findings. Every constructor (Structural,
+// Circuit, Source) sorts before returning; without this, incidental
+// emission order would leak into the CLI text and -json output.
+func (r *Report) sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if ra, rb := ruleRank[a.Rule], ruleRank[b.Rule]; ra != rb {
+			return ra < rb
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Line < b.Line
+	})
+}
+
 // HasErrors reports whether any diagnostic has error severity.
 func (r *Report) HasErrors() bool {
 	for _, d := range r.Diags {
@@ -220,6 +251,7 @@ func diag(c *netlist.Circuit, rule string, sev Severity, id int, format string, 
 func Structural(c *netlist.Circuit) *Report {
 	rep := &Report{Circuit: c.Name}
 	structural(c, rep)
+	rep.sort()
 	return rep
 }
 
@@ -305,15 +337,25 @@ func structural(c *netlist.Circuit, rep *Report) bool {
 
 // Circuit runs the full rule catalog and returns the report. The
 // hygiene and key rules only run when the structural rules pass, since
-// they need a sound DAG to walk.
+// they need a sound DAG to walk; they run over the compiled IR through
+// the shared dataflow engine (reachability and constant propagation are
+// engine domains, not ad-hoc traversals).
 func Circuit(c *netlist.Circuit) *Report {
 	rep := &Report{Circuit: c.Name}
 	if !structural(c, rep) {
+		rep.sort()
+		return rep
+	}
+	prog, err := ir.Compile(c)
+	if err != nil {
+		// Unreachable for a circuit that passed structural(); compile
+		// validates the same conditions. Return what we have.
+		rep.sort()
 		return rep
 	}
 
 	fanout := c.FanoutLists()
-	reach := c.TransitiveFanin(c.POs...)
+	reach := dataflow.Run[bool](prog, &poReach{p: prog, isPO: poSet(prog)}, dataflow.Options{Workers: 1})
 	isPO := make(map[int]bool, len(c.POs))
 	for _, o := range c.POs {
 		isPO[o] = true
@@ -340,118 +382,65 @@ func Circuit(c *netlist.Circuit) *Report {
 		}
 	}
 
-	constOutputs(c, rep)
+	constOutputs(c, prog, rep)
 	keyRules(c, rep, fanout, reach)
+	rep.sort()
 	return rep
 }
 
-// constOutputs runs constant propagation over the DAG and reports gates
-// whose output is provably stuck. The lattice is {unknown, 0, 1}:
-// constants seed known values, AND/OR families fold through absorbing
-// inputs, and two-input XOR/XNOR of the same signal folds regardless of
-// the signal's value.
-func constOutputs(c *netlist.Circuit, rep *Report) {
-	order, err := c.TopoOrder()
-	if err != nil {
-		return // structural() already reported the cycle
+// poSet marks the primary-output nodes of a program.
+func poSet(p *ir.Program) []bool {
+	out := make([]bool, p.NumNodes())
+	for _, o := range p.POs {
+		out[o] = true
 	}
-	const unknown = int8(-1)
-	val := make([]int8, c.NumNodes())
-	for i := range val {
-		val[i] = unknown
-	}
-	for _, id := range order {
-		g := &c.Gates[id]
-		switch g.Type {
-		case netlist.Input:
-			continue
-		case netlist.Const0:
-			val[id] = 0
-			continue
-		case netlist.Const1:
-			val[id] = 1
-			continue
-		}
-		v := foldGate(g, val)
-		val[id] = v
-		if v != unknown {
-			rep.add(diag(c, RuleConstOut, Warning, id,
-				"output of %v gate %q is provably constant %d", g.Type, c.NameOf(id), v))
-		}
-	}
+	return out
 }
 
-// foldGate evaluates one gate over the three-valued lattice.
-func foldGate(g *netlist.Gate, val []int8) int8 {
-	const unknown = int8(-1)
-	switch g.Type {
-	case netlist.Buf:
-		return val[g.Fanin[0]]
-	case netlist.Not:
-		if v := val[g.Fanin[0]]; v != unknown {
-			return 1 - v
-		}
-		return unknown
-	case netlist.And, netlist.Nand:
-		out := int8(1)
-		for _, f := range g.Fanin {
-			switch val[f] {
-			case 0:
-				out = 0
-			case unknown:
-				if out != 0 {
-					out = unknown
-				}
-			}
-		}
-		if out == unknown {
-			return unknown
-		}
-		if g.Type == netlist.Nand {
-			return 1 - out
-		}
-		return out
-	case netlist.Or, netlist.Nor:
-		out := int8(0)
-		for _, f := range g.Fanin {
-			switch val[f] {
-			case 1:
-				out = 1
-			case unknown:
-				if out != 1 {
-					out = unknown
-				}
-			}
-		}
-		if out == unknown {
-			return unknown
-		}
-		if g.Type == netlist.Nor {
-			return 1 - out
-		}
-		return out
-	case netlist.Xor, netlist.Xnor:
-		// Degenerate shape: x XOR x is 0 (x XNOR x is 1) whatever x is.
-		if len(g.Fanin) == 2 && g.Fanin[0] == g.Fanin[1] {
-			if g.Type == netlist.Xor {
-				return 0
-			}
-			return 1
-		}
-		parity := int8(0)
-		for _, f := range g.Fanin {
-			v := val[f]
-			if v == unknown {
-				return unknown
-			}
-			parity ^= v
-		}
-		if g.Type == netlist.Xnor {
-			return 1 - parity
-		}
-		return parity
+// poReach is the output-reachability analysis as a backward engine
+// domain: a node is live iff it is a primary output or drives one
+// transitively. The dead-cone and key-unobservable rules read its
+// fixpoint (it computes the same set c.TransitiveFanin(c.POs...) used
+// to, one level sweep instead of a stack walk).
+type poReach struct {
+	p    *ir.Program
+	isPO []bool
+}
+
+func (d *poReach) Direction() dataflow.Direction { return dataflow.Backward }
+func (d *poReach) Bottom() bool                  { return false }
+func (d *poReach) Join(a, b bool) bool           { return a || b }
+func (d *poReach) Equal(a, b bool) bool          { return a == b }
+
+func (d *poReach) Transfer(id int, get func(int) bool) bool {
+	if d.isPO[id] {
+		return true
 	}
-	return unknown
+	for _, fo := range d.p.FanoutSpan(id) {
+		if get(int(fo)) {
+			return true
+		}
+	}
+	return false
+}
+
+// constOutputs reports gates whose output the engine's ternary
+// constant domain proves stuck: constants seed known values, AND/OR
+// families fold through absorbing inputs, and two-input XOR/XNOR of the
+// same signal folds regardless of the signal's value.
+func constOutputs(c *netlist.Circuit, prog *ir.Program, rep *Report) {
+	val := dataflow.Run[int8](prog, dataflow.NewConst(prog), dataflow.Options{Workers: 1})
+	for _, id32 := range prog.Order {
+		id := int(id32)
+		switch prog.Ops[id] {
+		case ir.OpInput, ir.OpConst0, ir.OpConst1:
+			continue
+		}
+		if v := val[id]; v != dataflow.Unknown {
+			rep.add(diag(c, RuleConstOut, Warning, id,
+				"output of %v gate %q is provably constant %d", prog.Ops[id], c.NameOf(id), v))
+		}
+	}
 }
 
 // keyRules checks the locked-circuit conventions: key observability,

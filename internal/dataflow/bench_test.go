@@ -1,0 +1,71 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"orap/internal/benchgen"
+	"orap/internal/dataflow"
+	"orap/internal/ir"
+	"orap/internal/lock"
+	"orap/internal/rng"
+)
+
+// BenchmarkDataflow measures a full four-domain engine pass (ternary
+// constants, pair/key-difference, key taint, SCOAP controllability +
+// observability) over the scaled b19 benchmark locked the way Table I
+// locks it — the workload internal/audit runs per analysis. Each domain
+// reaches fixpoint in a single level sweep; the first iteration also
+// cross-checks that the parallel sweep matches the serial one
+// bit-for-bit, so a scheduling regression fails the bench rather than
+// skewing it.
+func BenchmarkDataflow(b *testing.B) {
+	prof, err := benchgen.ProfileByName("b19")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaled := prof.Scale(0.05)
+	circuit, err := benchgen.Generate(scaled, 2020)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lock.Weighted(circuit, lock.WeightedOptions{
+		KeyBits:      scaled.LFSRSize,
+		ControlWidth: scaled.CtrlInputs,
+		Rand:         rng.New(2020),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := ir.Compile(l.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	pass := func(workers int) (consts []int8, pair []dataflow.PairValue, taint []dataflow.KeySet, cc []dataflow.ControlValue, co []int32) {
+		opts := dataflow.Options{Workers: workers}
+		consts = dataflow.Run[int8](p, dataflow.NewConst(p), opts)
+		d := dataflow.NewPair(p)
+		d.SetKey(p.Keys[0])
+		pair = dataflow.Run[dataflow.PairValue](p, d, opts)
+		taint = dataflow.Run[dataflow.KeySet](p, dataflow.NewKeyTaint(p), opts)
+		cc = dataflow.Run[dataflow.ControlValue](p, dataflow.NewControllability(p), opts)
+		co = dataflow.Run[int32](p, dataflow.NewObservability(p, cc), opts)
+		return
+	}
+
+	c1, p1, t1, cc1, co1 := pass(1)
+	c8, p8, t8, cc8, co8 := pass(8)
+	kt := dataflow.NewKeyTaint(p)
+	for id := 0; id < p.NumNodes(); id++ {
+		if c1[id] != c8[id] || p1[id] != p8[id] || !kt.Equal(t1[id], t8[id]) ||
+			cc1[id] != cc8[id] || co1[id] != co8[id] {
+			b.Fatalf("node %d: workers=1 and workers=8 fixpoints differ", id)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pass(0)
+	}
+	b.ReportMetric(float64(p.NumNodes()), "nodes")
+}

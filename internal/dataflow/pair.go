@@ -1,0 +1,136 @@
+package dataflow
+
+import "orap/internal/ir"
+
+// PairValue is the pair/key-difference abstract value: the ternary
+// constant-propagation results of one node under both values of a
+// single designated key bit, tracked jointly. Tracking the pair
+// matters: XOR(x, k) is Unknown under both values of k, yet its
+// concrete value always differs between them — a naive two-pass diff
+// would call it key-independent.
+type PairValue struct {
+	// V0 and V1 are the ternary results under key = 0 and key = 1.
+	V0, V1 int8
+	// Eq is a proof of key-independence:
+	//
+	//	Eq[n] = (both values known and equal) ∨ (every fanin of n is Eq)
+	//
+	// Eq is sound — Eq[n] implies n's concrete value cannot depend on
+	// the key bit for any assignment of the unknown inputs — and by
+	// induction it also implies the two lattice values coincide.
+	Eq bool
+	// Anti is the opposite certainty: n's concrete value provably
+	// differs between the two key values, for every assignment of the
+	// unknown inputs (the node computes f(x) XOR k up to inversion).
+	// It propagates through Buf/Not and through XOR/XNOR gates whose
+	// remaining fanins are all Eq; AND/OR families destroy it, which is
+	// exactly why a PO that keeps Anti is a one-query key leak.
+	Anti bool
+}
+
+// Pair is the pair/key-difference domain behind audit's key-removable
+// and key-leak rules. A Pair is configured with the active key input
+// via SetKey; all other inputs stay Unknown-but-Eq. The intended use is
+// one base Run with no key selected, then per key bit a SetKey followed
+// by an incremental Rerun seeded at the key input.
+type Pair struct {
+	p *ir.Program
+	// key is the node ID of the active key input, -1 for none.
+	key int32
+}
+
+// NewPair returns the pair domain for p with no key bit selected.
+func NewPair(p *ir.Program) *Pair { return &Pair{p: p, key: -1} }
+
+// SetKey selects the key input node the pair tracks (-1 for none).
+// After changing it, re-solve with Rerun seeded at the old and/or new
+// key node.
+func (d *Pair) SetKey(id int32) { d.key = id }
+
+// Direction implements Domain.
+func (d *Pair) Direction() Direction { return Forward }
+
+// Bottom implements Domain: both values Unknown with the Eq proof —
+// the value every input other than the key carries.
+func (d *Pair) Bottom() PairValue {
+	return PairValue{V0: Unknown, V1: Unknown, Eq: true}
+}
+
+// Join implements Domain: values join in the ternary lattice, the Eq
+// and Anti proofs survive only when both sides carry them.
+func (d *Pair) Join(a, b PairValue) PairValue {
+	c := NewConst(d.p)
+	return PairValue{
+		V0:   c.Join(a.V0, b.V0),
+		V1:   c.Join(a.V1, b.V1),
+		Eq:   a.Eq && b.Eq,
+		Anti: a.Anti && b.Anti,
+	}
+}
+
+// Equal implements Domain.
+func (d *Pair) Equal(a, b PairValue) bool { return a == b }
+
+// Transfer implements Domain.
+func (d *Pair) Transfer(id int, get func(int) PairValue) PairValue {
+	p := d.p
+	switch p.Ops[id] {
+	case ir.OpInput:
+		if int32(id) == d.key {
+			return PairValue{V0: 0, V1: 1, Anti: true}
+		}
+		return PairValue{V0: Unknown, V1: Unknown, Eq: true}
+	case ir.OpConst0:
+		return PairValue{V0: 0, V1: 0, Eq: true}
+	case ir.OpConst1:
+		return PairValue{V0: 1, V1: 1, Eq: true}
+	}
+	fi := p.FaninSpan(id)
+	op := p.Ops[id]
+	v := PairValue{
+		V0: foldOp(op, fi, func(f int) int8 { return get(f).V0 }),
+		V1: foldOp(op, fi, func(f int) int8 { return get(f).V1 }),
+	}
+	if v.V0 != Unknown && v.V1 != Unknown {
+		v.Eq = v.V0 == v.V1
+		v.Anti = v.V0 != v.V1
+		return v
+	}
+	v.Eq = true
+	for _, f := range fi {
+		if !get(int(f)).Eq {
+			v.Eq = false
+			break
+		}
+	}
+	if !v.Eq {
+		v.Anti = antiThrough(op, fi, get)
+	}
+	return v
+}
+
+// antiThrough decides whether the always-flips proof survives a gate
+// whose output value is not fully known: inverters pass it through, and
+// an XOR/XNOR flips iff an odd number of fanins flip while every other
+// fanin is provably key-independent. Everything else (the AND/OR
+// families, or any fanin with neither proof) drops it.
+func antiThrough(op ir.Op, fanins []int32, get func(int) PairValue) bool {
+	switch op {
+	case ir.OpBuf, ir.OpNot:
+		return get(int(fanins[0])).Anti
+	case ir.OpXor, ir.OpXnor:
+		anti := 0
+		for _, f := range fanins {
+			fv := get(int(f))
+			switch {
+			case fv.Anti:
+				anti++
+			case fv.Eq:
+			default:
+				return false
+			}
+		}
+		return anti%2 == 1
+	}
+	return false
+}

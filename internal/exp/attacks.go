@@ -6,7 +6,10 @@ import (
 	"orap/internal/attack"
 	"orap/internal/audit"
 	"orap/internal/benchgen"
+	"orap/internal/dataflow"
+	"orap/internal/ir"
 	"orap/internal/lock"
+	"orap/internal/netlist"
 	"orap/internal/oracle"
 	"orap/internal/orap"
 	"orap/internal/par"
@@ -38,6 +41,12 @@ type AttackRow struct {
 	Unique      int
 	CacheHitPct float64
 	ScanCycles  int64
+	// Taint summarizes the netlist-side dataflow verdict on the locked
+	// circuit ("tainted/total POs, key-leak findings") — computed once
+	// from the key-taint fixpoint and the audit's key-leak rule, and
+	// shared by both protection levels because OraP never rewrites the
+	// netlist.
+	Taint string
 	// Audit summarizes the static oracle-path audit of this protection
 	// level ("errors E / warnings W", plus effective/nominal key entropy
 	// for protected configurations) — the analyzer's verdict next to the
@@ -135,6 +144,10 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		a    attackFn
 	}
 	var cells []cell
+	taintCol, err := taintSummary(l.Circuit)
+	if err != nil {
+		return nil, err
+	}
 	auditCol := make(map[scan.Protection]string)
 	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic} {
 		// The audit column is per protection level, not per attack: run the
@@ -160,7 +173,7 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		if err != nil {
 			return err
 		}
-		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1, Audit: auditCol[prot]}
+		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1, Taint: taintCol, Audit: auditCol[prot]}
 		res, err := a.run(o, opts.Seed)
 		// Channel telemetry comes from the session itself, so failed runs
 		// report their (wasted) channel usage too.
@@ -206,6 +219,28 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 	return rows, nil
 }
 
+// taintSummary condenses the netlist-side dataflow verdict into a table
+// cell: how many primary outputs any key bit can structurally corrupt
+// (the key-taint fixpoint) and how many key bits the audit proves
+// linearly separable at an output (key-leak findings). Weighted locking
+// should taint every output and leak nothing.
+func taintSummary(c *netlist.Circuit) (string, error) {
+	prog, err := ir.Compile(c)
+	if err != nil {
+		return "", err
+	}
+	taint := dataflow.Run[dataflow.KeySet](prog, dataflow.NewKeyTaint(prog), dataflow.Options{Workers: 1})
+	tainted := 0
+	for _, o := range prog.POs {
+		if !taint[o].Empty() {
+			tainted++
+		}
+	}
+	rep := audit.AnalyzeProgram(prog, c, audit.Options{})
+	leaks := len(rep.ByRule(audit.RuleKeyLeak))
+	return fmt.Sprintf("%d/%dPO %dL", tainted, prog.NumOutputs(), leaks), nil
+}
+
 // auditSummary condenses the oracle-path audit of a configuration into
 // a table cell: error/warning counts, and effective vs nominal key
 // entropy when the configuration carries an LFSR register.
@@ -244,7 +279,7 @@ func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, 
 
 // FormatAttackStudy renders the attack comparison.
 func FormatAttackStudy(rows []AttackRow) string {
-	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Unique", "Hit%", "Scan cycles", "Audit", "Note"}
+	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Unique", "Hit%", "Scan cycles", "Taint", "Audit", "Note"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -258,6 +293,7 @@ func FormatAttackStudy(rows []AttackRow) string {
 			fmt.Sprint(r.Unique),
 			fmt.Sprintf("%.1f", r.CacheHitPct),
 			fmt.Sprint(r.ScanCycles),
+			r.Taint,
 			r.Audit,
 			r.Note,
 		})

@@ -164,9 +164,15 @@ func TestAttackStudyShape(t *testing.T) {
 		if r.ScanCycles <= 0 {
 			t.Errorf("%s/%s: no scan cycles accounted", r.Attack, r.Protection)
 		}
+		// The dataflow column is per locked netlist: weighted locking
+		// taints outputs through its control cones but must never leave a
+		// key bit linearly separable, so the leak count is pinned to 0.
+		if !strings.Contains(r.Taint, "PO") || !strings.HasSuffix(r.Taint, " 0L") {
+			t.Errorf("%s/%s: taint column %q, want tainted-PO figure with zero key leaks", r.Attack, r.Protection, r.Taint)
+		}
 	}
 	text := FormatAttackStudy(rows)
-	for _, col := range []string{"Audit", "Unique", "Hit%", "Scan cycles"} {
+	for _, col := range []string{"Taint", "Audit", "Unique", "Hit%", "Scan cycles"} {
 		if !strings.Contains(text, col) {
 			t.Fatalf("formatted study missing the %s column:\n%s", col, text)
 		}

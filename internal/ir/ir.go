@@ -30,7 +30,6 @@ package ir
 import (
 	"fmt"
 
-	"orap/internal/check"
 	"orap/internal/netlist"
 )
 
@@ -104,13 +103,14 @@ type Program struct {
 
 // Compile flattens a finished circuit into an immutable Program. The
 // circuit is only read; later mutations of it are not reflected in the
-// returned program. The structural-soundness rules of internal/check
-// (gate arity, undriven nets, combinational cycles) run first and any
-// error-severity finding aborts the compile, so no downstream backend
-// ever sees an ill-formed program.
+// returned program. The structural-soundness conditions (gate arity,
+// undriven nets, in-range references, combinational cycles — the same
+// conditions internal/check's structural rules diagnose with full
+// reports) are validated first and abort the compile, so no downstream
+// backend ever sees an ill-formed program.
 func Compile(c *netlist.Circuit) (*Program, error) {
-	if rep := check.Structural(c); rep.HasErrors() {
-		return nil, fmt.Errorf("ir: %w", rep.Err())
+	if err := validate(c); err != nil {
+		return nil, err
 	}
 	n := len(c.Gates)
 	p := &Program{
@@ -223,6 +223,62 @@ func Compile(c *netlist.Circuit) (*Program, error) {
 	p.Inputs = append(p.Inputs, p.PIs...)
 	p.Inputs = append(p.Inputs, p.Keys...)
 	return p, nil
+}
+
+// validate enforces the structural preconditions Compile needs: every
+// registered input is an Input node, gate arities are legal, fanin and
+// output references are in range, and no Input-type node floats
+// unregistered (an undriven net). Cycles are caught later by the Kahn
+// pass itself. The conditions mirror internal/check's structural rules;
+// check produces the full diagnostic report, Compile only needs a
+// verdict (and must not import check, which sits above the IR in the
+// analysis stack).
+func validate(c *netlist.Circuit) error {
+	n := len(c.Gates)
+	registered := make(map[int]bool, len(c.PIs)+len(c.Keys))
+	for _, in := range c.AllInputs() {
+		if in < 0 || in >= n || c.Gates[in].Type != netlist.Input {
+			return fmt.Errorf("ir: circuit %q: input list references node %d, which is not an Input node", c.Name, in)
+		}
+		registered[in] = true
+	}
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			if len(g.Fanin) != 0 {
+				return fmt.Errorf("ir: circuit %q: input %q must have no fanin, has %d", c.Name, c.NameOf(id), len(g.Fanin))
+			}
+			if !registered[id] {
+				return fmt.Errorf("ir: circuit %q: net %q has no driver", c.Name, c.NameOf(id))
+			}
+		case netlist.Const0, netlist.Const1:
+			if len(g.Fanin) != 0 {
+				return fmt.Errorf("ir: circuit %q: constant %q must have no fanin, has %d", c.Name, c.NameOf(id), len(g.Fanin))
+			}
+		case netlist.Buf, netlist.Not:
+			if len(g.Fanin) != 1 {
+				return fmt.Errorf("ir: circuit %q: %v gate %q must have exactly 1 fanin, has %d", c.Name, g.Type, c.NameOf(id), len(g.Fanin))
+			}
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor:
+			if len(g.Fanin) < 2 {
+				return fmt.Errorf("ir: circuit %q: %v gate %q must have at least 2 fanins, has %d", c.Name, g.Type, c.NameOf(id), len(g.Fanin))
+			}
+		default:
+			return fmt.Errorf("ir: circuit %q: node %q has unknown gate type %d", c.Name, c.NameOf(id), uint8(g.Type))
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= n {
+				return fmt.Errorf("ir: circuit %q: gate %q references out-of-range fanin %d", c.Name, c.NameOf(id), f)
+			}
+		}
+	}
+	for _, o := range c.POs {
+		if o < 0 || o >= n {
+			return fmt.Errorf("ir: circuit %q: output list references out-of-range node %d", c.Name, o)
+		}
+	}
+	return nil
 }
 
 // MustCompile is Compile that panics on cyclic circuits; intended for
