@@ -55,7 +55,7 @@ bench-parallel:
 # invariance assertion runs before the timer). Catches benchmark
 # bit-rot in CI without paying for stable timings.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate|Dataflow' -benchtime 1x ./internal/attack ./internal/sat ./internal/dataflow
+	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate|Dataflow|BDDCompile|ExactCorrupt' -benchtime 1x ./internal/attack ./internal/sat ./internal/dataflow ./internal/bdd ./internal/audit
 
 # Machine-readable oracle-channel benchmarks: the serial-vs-batched pairs
 # (scan protocol, disagreement sampling, AppSAT settlement) plus the

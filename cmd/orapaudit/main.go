@@ -9,7 +9,15 @@
 //	orapaudit -json locked.bench     # machine-readable report
 //	orapaudit -explain locked.bench  # append witness paths to key findings
 //	orapaudit -min-corrupt 4 x.bench # raise the corruptibility threshold
+//	orapaudit -exact locked.bench    # model-counted verdicts (ROBDD backend)
 //	orapaudit -sweep                 # built-in clean-sweep regression gate
+//
+// -exact swaps the structural corruptibility and key-leak bounds for
+// exact symbolic verdicts: per key bit the analyzer compiles the bit's
+// corruption cone to a ROBDD and model-counts corrupting (input, key)
+// pairs and distinguishing inputs. A cone exceeding the node budget
+// (-bdd-budget, default 2^19 nodes) degrades that bit back to the
+// dataflow bound; the report's telemetry line counts such fallbacks.
 //
 // Exit codes (documented in README, asserted in tests, consumed by the
 // make audit leg):
@@ -62,6 +70,33 @@ type jsonFinding struct {
 	Ref      string `json:"ref,omitempty"`
 }
 
+// jsonExactBit is the -json wire form of one key bit's symbolic
+// verdict; the model counts travel as decimal strings since they can
+// exceed float64 (and JSON number) precision.
+type jsonExactBit struct {
+	Bit          int     `json:"bit"`
+	OK           bool    `json:"ok"`
+	ConePOs      int     `json:"cone_pos"`
+	SensPOs      int     `json:"sens_pos"`
+	SupportVars  int     `json:"support_vars"`
+	CorruptCount string  `json:"corrupt_count,omitempty"`
+	Rate         float64 `json:"rate"`
+	DistInputs   string  `json:"dist_inputs,omitempty"`
+	LeakPOs      []int32 `json:"leak_pos,omitempty"`
+}
+
+// jsonExact is the -json wire form of the symbolic backend's result.
+type jsonExact struct {
+	NumPIs       int            `json:"num_pis"`
+	NumKeys      int            `json:"num_keys"`
+	Bits         []jsonExactBit `json:"bits"`
+	BDDNodes     int            `json:"bdd_nodes"`
+	BDDPeakNodes int            `json:"bdd_peak_nodes"`
+	BDDBudget    int            `json:"bdd_budget"`
+	CacheHitRate float64        `json:"ite_cache_hit_rate"`
+	Fallbacks    int            `json:"budget_fallbacks"`
+}
+
 // jsonReport is the -json wire form of one circuit's report.
 type jsonReport struct {
 	Circuit  string        `json:"circuit"`
@@ -69,6 +104,7 @@ type jsonReport struct {
 	Errors   int           `json:"errors"`
 	Warnings int           `json:"warnings"`
 	Infos    int           `json:"infos"`
+	Exact    *jsonExact    `json:"exact,omitempty"`
 }
 
 func toJSON(rep *audit.Report) jsonReport {
@@ -86,6 +122,36 @@ func toJSON(rep *audit.Report) jsonReport {
 			Ref:      f.Ref,
 		})
 	}
+	if ex := rep.Exact; ex != nil {
+		je := &jsonExact{
+			NumPIs:       ex.NumPIs,
+			NumKeys:      ex.NumKeys,
+			BDDNodes:     ex.Stats.Nodes,
+			BDDPeakNodes: ex.Stats.PeakNodes,
+			BDDBudget:    ex.Stats.Budget,
+			CacheHitRate: ex.Stats.HitRate(),
+			Fallbacks:    ex.Stats.Fallbacks,
+		}
+		for _, b := range ex.Bits {
+			jb := jsonExactBit{
+				Bit:         b.Bit,
+				OK:          b.OK,
+				ConePOs:     b.ConePOs,
+				SensPOs:     b.SensPOs,
+				SupportVars: b.SupportVars,
+				Rate:        b.Rate,
+				LeakPOs:     b.LeakPOs,
+			}
+			if b.CorruptCount != nil {
+				jb.CorruptCount = b.CorruptCount.String()
+			}
+			if b.DistInputs != nil {
+				jb.DistInputs = b.DistInputs.String()
+			}
+			je.Bits = append(je.Bits, jb)
+		}
+		out.Exact = je
+	}
 	return out
 }
 
@@ -98,6 +164,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sweep      = fs.Bool("sweep", false, "run the built-in clean-sweep regression gate and exit")
 		explain    = fs.Bool("explain", false, "append a key-to-node witness path to each key-anchored finding (text mode)")
 		minCorrupt = fs.Int("min-corrupt", 0, "low-corruptibility threshold in primary outputs (0 = default)")
+		exact      = fs.Bool("exact", false, "model-counted verdicts via the ROBDD backend (falls back per key bit over budget)")
+		bddBudget  = fs.Int("bdd-budget", 0, "per-key-bit BDD node budget for -exact (0 = default 2^19)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitInternal
@@ -110,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitInternal
 	}
 
-	opts := audit.Options{MinCorruptPOs: *minCorrupt}
+	opts := audit.Options{MinCorruptPOs: *minCorrupt, Exact: *exact, BDDBudget: *bddBudget}
 	code := exitClean
 	raise := func(c int) {
 		// Severity order of the exit codes is errors > warnings > clean;

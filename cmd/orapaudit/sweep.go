@@ -62,12 +62,15 @@ func sweepLockers() []struct {
 }
 
 // runSweep is the make audit leg: audit every shipped circuit under all
-// five locking schemes, then the weighted + OraP pairing. Exit 1 when a
-// fixed-point expectation breaks, 2 on synthesis failure, 0 otherwise —
-// warnings are the *point* of the sweep (random XOR must warn), so
-// unlike file mode they do not change the exit code.
+// five locking schemes, then the weighted + OraP pairing. Every locked
+// configuration is additionally proven functionally equivalent to its
+// original under the stored key with the symbolic KeyEquivalence check
+// — an exact proof over every input pattern where the lock tests only
+// sample. Exit 1 when a fixed-point expectation breaks, 2 on synthesis
+// failure, 0 otherwise — warnings are the *point* of the sweep (random
+// XOR must warn), so unlike file mode they do not change the exit code.
 func runSweep(stdout, stderr io.Writer) int {
-	audited, violations := 0, 0
+	audited, proofs, violations := 0, 0, 0
 	fail := func(format string, args ...any) {
 		violations++
 		fmt.Fprintf(stderr, "orapaudit: sweep: "+format+"\n", args...)
@@ -89,6 +92,21 @@ func runSweep(stdout, stderr io.Writer) int {
 			errs, warns, infos := rep.Counts()
 			fmt.Fprintf(stdout, "%-12s %-10s %d errors, %d warnings, %d notes\n",
 				sc.name, sl.name, errs, warns, infos)
+
+			// Symbolic proof that the lock preserved the function: the
+			// locked circuit under its stored key must be equivalent to
+			// the original on every input pattern.
+			eqRep, err := audit.KeyEquivalence(l.Circuit, sc.c, l.Key, audit.ExactOptions{})
+			if err != nil {
+				fmt.Fprintf(stderr, "orapaudit: sweep: %s/%s: equivalence proof: %v\n", sc.name, sl.name, err)
+				return exitInternal
+			}
+			if eqRep.HasErrors() {
+				fail("%s/%s: locked circuit is not equivalent to the original under its key:\n%s",
+					sc.name, sl.name, eqRep)
+			} else {
+				proofs++
+			}
 
 			for _, f := range rep.ByRule(audit.RuleKeyRemovable) {
 				if f.Sev == check.Error {
@@ -131,7 +149,8 @@ func runSweep(stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "sweep: %d configurations audited, %d violations\n", audited, violations)
+	fmt.Fprintf(stdout, "sweep: %d configurations audited, %d equivalence proofs, %d violations\n",
+		audited, proofs, violations)
 	if violations > 0 {
 		return exitErrors
 	}

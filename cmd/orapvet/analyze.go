@@ -369,15 +369,26 @@ func (v *vetter) programField(p *vetPkg, irPath string, e ast.Expr) (string, boo
 	return "", false
 }
 
-// printFamily is the fmt output surface covered by nosecret. fmt.Errorf
-// is deliberately absent.
+// printFamily is the fmt and log output surface covered by nosecret:
+// every call that renders its arguments somewhere a developer might
+// leave enabled in production, including the standard logger and its
+// method set. fmt.Errorf is deliberately absent — wrapping key material
+// into an error for the caller to redact is the sanctioned pattern.
 var printFamily = map[string]bool{
 	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
 	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
 	"fmt.Sprint": true, "fmt.Sprintf": true, "fmt.Sprintln": true,
+
+	"log.Print": true, "log.Printf": true, "log.Println": true,
+	"log.Fatal": true, "log.Fatalf": true, "log.Fatalln": true,
+	"log.Panic": true, "log.Panicf": true, "log.Panicln": true,
+
+	"(*log.Logger).Print": true, "(*log.Logger).Printf": true, "(*log.Logger).Println": true,
+	"(*log.Logger).Fatal": true, "(*log.Logger).Fatalf": true, "(*log.Logger).Fatalln": true,
+	"(*log.Logger).Panic": true, "(*log.Logger).Panicf": true, "(*log.Logger).Panicln": true,
 }
 
-// ruleNoSecret flags fmt print-family calls in internal/ packages whose
+// ruleNoSecret flags fmt and log print-family calls in internal/ packages whose
 // arguments are raw key material: values of static type []bool whose
 // base identifier names key bits, or values of the gf2.Vec bit-vector
 // type. The key-naming heuristic sees through single-assignment local

@@ -45,11 +45,11 @@ func one(t *testing.T, rule, ident string) Finding {
 
 func TestFixtureFindingCount(t *testing.T) {
 	fs := fixture(t)
-	if len(fs) != 10 {
+	if len(fs) != 12 {
 		for _, f := range fs {
 			t.Log(f)
 		}
-		t.Fatalf("fixture produced %d findings, want 10", len(fs))
+		t.Fatalf("fixture produced %d findings, want 12", len(fs))
 	}
 	for _, f := range fs {
 		if !strings.Contains(f.Pos.Filename, filepath.Join("internal", "bad")) {
@@ -106,6 +106,24 @@ func TestNoSecretRule(t *testing.T) {
 	}
 	if !strings.Contains(bits.Msg, "fmt.Println") || !strings.Contains(vec.Msg, "fmt.Printf") {
 		t.Errorf("nosecret messages missing the offending call: %q / %q", bits.Msg, vec.Msg)
+	}
+}
+
+// TestNoSecretLogRule pins the log-package extension: key material
+// routed through the standard logger — package-level functions and
+// (*log.Logger) methods alike — fires exactly like the fmt family,
+// while derived scalars (good.LogKeyShape) stay clean.
+func TestNoSecretLogRule(t *testing.T) {
+	direct := one(t, RuleNoSecret, `raw key bits "keyBits"`)
+	if !strings.HasSuffix(direct.Pos.Filename, "logleak.go") || direct.Pos.Line != 9 {
+		t.Errorf("nosecret log case at %s:%d, want logleak.go:9", direct.Pos.Filename, direct.Pos.Line)
+	}
+	if !strings.Contains(direct.Msg, "log.Printf") {
+		t.Errorf("log finding must name the offending call: %q", direct.Msg)
+	}
+	method := one(t, RuleNoSecret, `raw key bits "masterKey"`)
+	if !strings.Contains(method.Msg, "(*log.Logger).Println") {
+		t.Errorf("logger-method finding must name the method: %q", method.Msg)
 	}
 }
 

@@ -1,0 +1,19 @@
+// nosecret log-package firing cases, in their own file so the
+// line-pinned findings in secret.go stay put (adding an import there
+// would shift them).
+package bad
+
+import "log"
+
+func LogKey(keyBits []bool) {
+	log.Printf("unlocking with %v", keyBits)
+}
+
+func LogToLogger(l *log.Logger, masterKey []bool) {
+	l.Println(masterKey)
+}
+
+// Derived scalars stay clean through log, same as through fmt.
+func LogKeyWidth(keyBits []bool) {
+	log.Printf("key of %d bits", len(keyBits))
+}

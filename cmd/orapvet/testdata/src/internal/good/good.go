@@ -6,6 +6,7 @@ package good
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"vetfixture/internal/gf2"
@@ -41,4 +42,11 @@ func DescribeKey(key []bool, seed gf2.Vec) (string, error) {
 		return "", fmt.Errorf("empty key %v (seed %v)", key, seed)
 	}
 	return fmt.Sprintf("key of %d bits, seed of %d", len(key), seed.Len()), nil
+}
+
+// The log surface must accept the same clean idioms: derived scalars
+// and innocuously named slices.
+func LogKeyShape(key []bool, bits []bool) {
+	log.Printf("key of %d bits", len(key))
+	log.Println(bits)
 }

@@ -99,6 +99,11 @@ const (
 	// RuleKeyLeak: a key bit linearly separable at a primary output —
 	// one oracle response reveals it. Warning.
 	RuleKeyLeak = "key-leak"
+	// RuleKeyEquivalence: the locked circuit under the stored key is
+	// provably not equivalent to the original — the lock transform
+	// corrupted the design. Emitted only by the symbolic KeyEquivalence
+	// proof. Error.
+	RuleKeyEquivalence = "key-equivalence"
 	// RuleTestabilityBound: a gate whose SCOAP stuck-at detect
 	// difficulty exceeds the threshold. Info.
 	RuleTestabilityBound = "testability-bound"
@@ -180,6 +185,10 @@ type Report struct {
 	// netlist-only audits and for unprotected configurations.
 	NominalEntropy   int
 	EffectiveEntropy int
+	// Exact holds the symbolic backend's per-key-bit model counts and
+	// BDD telemetry when the audit ran with Options.Exact; nil
+	// otherwise.
+	Exact *ExactResult
 }
 
 func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
@@ -193,6 +202,7 @@ var ruleRank = map[string]int{
 	RuleLowCorruptibility: 2,
 	RuleKeyLeak:           3,
 	RuleTestabilityBound:  4,
+	RuleKeyEquivalence:    5,
 }
 
 // sort puts the findings in the canonical order: rule in catalog order,
@@ -273,6 +283,9 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "%s: effective key entropy %d of %d bits\n",
 			r.Circuit, r.EffectiveEntropy, r.NominalEntropy)
 	}
+	if r.Exact != nil {
+		fmt.Fprintf(&b, "%s: %s\n", r.Circuit, r.Exact.Telemetry())
+	}
 	return b.String()
 }
 
@@ -301,6 +314,16 @@ type Options struct {
 	// TestabilityThreshold is the SCOAP detect-difficulty level at
 	// which testability-bound fires. 0 selects the default (50).
 	TestabilityThreshold int
+	// Exact enables the symbolic backend: per-key-bit ROBDD model
+	// counts replace the structural bounds in low-corruptibility and
+	// key-leak, and a bit whose exact corruption count is zero is
+	// reported key-removable. Bits whose cones exceed the node budget
+	// fall back to the dataflow bounds, recorded in the report's
+	// telemetry.
+	Exact bool
+	// BDDBudget is the per-key-bit BDD node budget for Exact; 0 selects
+	// bdd.DefaultBudget.
+	BDDBudget int
 }
 
 // Circuit audits a locked netlist with default options. The circuit
@@ -332,9 +355,15 @@ func AnalyzeProgram(prog *ir.Program, c *netlist.Circuit, opts Options) *Report 
 	}
 	e := newEngine(prog)
 	inert := removability(e, c, rep)
+	var ex *ExactResult
+	if opts.Exact {
+		ex = exactAnalyze(prog, ExactOptions{NodeBudget: opts.BDDBudget})
+		rep.Exact = ex
+		exactRemovability(prog, c, rep, ex, inert)
+	}
 	fingerprints(prog, c, rep)
-	corruptibility(e, c, rep, opts, inert)
-	keyLeaks(e, c, rep)
+	corruptibility(e, c, rep, opts, inert, ex)
+	keyLeaks(e, c, rep, ex)
 	testabilityBound(e, c, rep, opts)
 	rep.sort()
 	return rep

@@ -21,8 +21,12 @@ import (
 // PO coverage is read off the engine's key-taint fixpoint: a primary
 // output carries key bit kb's taint exactly when it lies in kb's
 // transitive fanout cone, so one taint pass replaces the per-bit cone
-// walks.
-func corruptibility(e *engine, c *netlist.Circuit, rep *Report, opts Options, inert []bool) {
+// walks. When the exact backend ran (ex non-nil) and the bit stayed
+// within budget, the cone bound is replaced by the exact count of
+// outputs some (input, key) pair really flips, and the finding carries
+// the model-counted corruption rate; budget-fallback bits keep the
+// structural message.
+func corruptibility(e *engine, c *netlist.Circuit, rep *Report, opts Options, inert []bool, ex *ExactResult) {
 	p := e.p
 	nPO := p.NumOutputs()
 	thr := opts.MinCorruptPOs
@@ -43,6 +47,16 @@ func corruptibility(e *engine, c *netlist.Circuit, rep *Report, opts Options, in
 			if e.taint[o].Has(kb) {
 				covered++
 			}
+		}
+		if ex != nil && ex.Bits[kb].OK {
+			b := &ex.Bits[kb]
+			if b.SensPOs >= thr {
+				continue
+			}
+			rep.add(finding(c, RuleLowCorruptibility, check.Warning, kb, int(kid), RefOraP,
+				"key bit %d (%q) corrupts exactly %d of %d primary outputs (structural cone bound %d, threshold %d); a wrong guess flips some output for %.3g%% of (input, key) pairs — low output corruptibility is what approximate attacks exploit",
+				kb, c.NameOf(int(kid)), b.SensPOs, nPO, covered, thr, 100*b.Rate))
+			continue
 		}
 		if covered >= thr {
 			continue

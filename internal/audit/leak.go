@@ -40,9 +40,24 @@ func newEngine(prog *ir.Program) *engine {
 // oracle-side leak OraP exists to block, and the reason the rule stays
 // netlist-level: the oracle-path audit separately decides whether the
 // scan channel is protected.
-func keyLeaks(e *engine, c *netlist.Circuit, rep *Report) {
+//
+// Without the exact backend the evidence is the pair domain's Anti
+// proof — sound (a flagged output really flips) but incomplete. With
+// it (ex non-nil, bit within budget) the evidence is a BDD tautology
+// check on XOR(F, F with the bit flipped), which misses nothing, and
+// the finding reports the bit's exact distinguishing-input count.
+func keyLeaks(e *engine, c *netlist.Circuit, rep *Report, ex *ExactResult) {
 	p := e.p
 	for kb, kid := range p.Keys {
+		if ex != nil && ex.Bits[kb].OK {
+			b := &ex.Bits[kb]
+			for _, o := range b.LeakPOs {
+				rep.add(finding(c, RuleKeyLeak, check.Warning, kb, int(o), RefOraP,
+					"key bit %d (%q) is linearly separable at primary output %q: exact symbolic proof that the output flips with the bit for every (input, key) pair, so one scan capture of the activated chip reveals it (%v of %v input patterns distinguish the bit)",
+					kb, c.NameOf(int(kid)), c.NameOf(int(o)), b.DistInputs, ex.PISpace()))
+			}
+			continue
+		}
 		for _, o := range e.leaks[kb] {
 			rep.add(finding(c, RuleKeyLeak, check.Warning, kb, int(o), RefOraP,
 				"key bit %d (%q) is linearly separable at primary output %q: the output provably flips with the bit for every input pattern, so one scan capture of the activated chip reveals it (output controllability CC0/CC1 = %d/%d)",

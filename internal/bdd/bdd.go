@@ -1,0 +1,314 @@
+// Package bdd is a from-scratch reduced ordered binary decision diagram
+// (ROBDD) engine: the exact symbolic backend behind internal/audit's
+// -exact analyses. Where the dataflow engine's abstract domains answer
+// "at most" (cone membership over-approximates sensitization), a BDD
+// represents a cone's Boolean function canonically, so the audit can
+// report model-counted quantities — corruption rates, distinguishing
+// input counts, equivalence proofs — exactly.
+//
+// Design:
+//
+//   - Hash-consed unique table: mk(level, low, high) returns the one
+//     node for that triple, so two equal functions built in the same
+//     Manager are the same node ID and equivalence checking is pointer
+//     comparison. No complement edges — the canonical form is the plain
+//     Bryant reduction (no duplicate triples, no redundant tests),
+//     which keeps every traversal branch-free at the cost of explicit
+//     negation nodes.
+//   - Memoised ITE: every connective is if-then-else with a shared
+//     operation cache, the standard Brace/Rudell/Bryant kernel.
+//   - Hard node budget: a Manager refuses to grow past its budget and
+//     unwinds the in-flight operation with a typed ErrBudget, so
+//     callers degrade gracefully to the dataflow approximation instead
+//     of hanging on an exponential cone. A tripped Manager stays
+//     usable for reads and for further (re-failing) operations.
+//   - Variable order comes from the caller; InputOrder seeds it from
+//     the ir.Program level schedule (see compile.go).
+//
+// The package has no dependencies beyond the standard library and
+// internal/ir, and a Manager is single-goroutine by design (callers
+// wanting parallelism build one Manager per goroutine; managers share
+// nothing).
+package bdd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Node is a function handle: an index into its Manager's node arena.
+// The terminals False and True are valid in every Manager. Nodes from
+// different Managers must never be mixed; the Manager cannot detect it.
+type Node = int32
+
+// Terminal nodes, present in every Manager.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// ErrBudget is returned (wrapped) when an operation would grow the
+// Manager past its node budget. Callers match it with errors.Is and
+// fall back to an approximate analysis.
+var ErrBudget = errors.New("bdd: node budget exhausted")
+
+// budgetMark is the panic value the recursive kernel unwinds with when
+// mk hits the budget; exported entry points recover it into ErrBudget.
+type budgetMark struct{}
+
+// node is one decision node: test variable `level`, follow low on 0,
+// high on 1. Terminals carry level == numVars so the variable order
+// can be compared without special cases.
+type node struct {
+	level     int32
+	low, high Node
+}
+
+// utriple keys the unique table.
+type utriple struct {
+	level     int32
+	low, high Node
+}
+
+// Stats is the Manager's telemetry, shaped like the oracle layer's
+// ChannelStats: enough to see whether the cache is working and how
+// close to the budget a run came.
+type Stats struct {
+	// Nodes is the number of decision nodes allocated (terminals
+	// excluded); with no garbage collection this is also the peak.
+	Nodes int
+	// Budget echoes the configured node budget.
+	Budget int
+	// UniqueHits counts mk calls answered by the unique table — the
+	// hash-consing that makes equal functions identical nodes.
+	UniqueHits int64
+	// CacheLookups and CacheHits count ITE operation-cache probes.
+	CacheLookups, CacheHits int64
+}
+
+// HitRate returns the ITE cache hit fraction in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.CacheLookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheLookups)
+}
+
+// Add accumulates another Manager's counters (per-key-bit managers
+// aggregate into one audit telemetry line).
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	if o.Budget > s.Budget {
+		s.Budget = o.Budget
+	}
+	s.UniqueHits += o.UniqueHits
+	s.CacheLookups += o.CacheLookups
+	s.CacheHits += o.CacheHits
+}
+
+// DefaultBudget is the node budget a Manager gets when the caller
+// passes 0: large enough for every shipped circuit's cones, small
+// enough that a blowing-up cone aborts in well under a second.
+const DefaultBudget = 1 << 19
+
+// Manager owns a DAG of hash-consed decision nodes over a fixed set of
+// numVars variables (levels 0..numVars-1, level 0 nearest the root).
+type Manager struct {
+	numVars int
+	budget  int
+	nodes   []node
+	unique  map[utriple]Node
+	ite     map[[3]Node]Node
+	stats   Stats
+}
+
+// New returns a Manager over numVars variables with the given node
+// budget (0 selects DefaultBudget).
+func New(numVars, budget int) *Manager {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	m := &Manager{
+		numVars: numVars,
+		budget:  budget,
+		nodes:   make([]node, 2, 1024),
+		unique:  make(map[utriple]Node),
+		ite:     make(map[[3]Node]Node),
+	}
+	tl := int32(numVars)
+	m.nodes[False] = node{level: tl, low: False, high: False}
+	m.nodes[True] = node{level: tl, low: True, high: True}
+	return m
+}
+
+// NumVars returns the variable count the Manager was built for.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Stats returns a snapshot of the Manager's telemetry.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.Nodes = len(m.nodes) - 2
+	s.Budget = m.budget
+	return s
+}
+
+// budgetErr builds the typed error an unwound operation reports.
+func (m *Manager) budgetErr() error {
+	return fmt.Errorf("%w (budget %d nodes, %d variables)", ErrBudget, m.budget, m.numVars)
+}
+
+// guard converts a budgetMark unwind into ErrBudget; every exported
+// node-building operation defers it.
+func (m *Manager) guard(n *Node, err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(budgetMark); !ok {
+			panic(r)
+		}
+		*n = False
+		*err = m.budgetErr()
+	}
+}
+
+// mk returns the unique node (level, low, high), applying both
+// reduction rules: a redundant test collapses to its child, and an
+// existing triple is reused. Panics with budgetMark past the budget.
+func (m *Manager) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	k := utriple{level, low, high}
+	if id, ok := m.unique[k]; ok {
+		m.stats.UniqueHits++
+		return id
+	}
+	if len(m.nodes)-2 >= m.budget {
+		panic(budgetMark{})
+	}
+	id := Node(len(m.nodes))
+	m.nodes = append(m.nodes, node{level, low, high})
+	m.unique[k] = id
+	return id
+}
+
+// Var returns the function of variable v (level v tests v: 0 → False,
+// 1 → True). v must be in [0, NumVars). The results must be named so
+// guard's recover can overwrite them on a budget trip.
+func (m *Manager) Var(v int) (n Node, err error) {
+	if v < 0 || v >= m.numVars {
+		return False, fmt.Errorf("bdd: variable %d out of range [0,%d)", v, m.numVars)
+	}
+	defer m.guard(&n, &err)
+	n = m.mk(int32(v), False, True)
+	return n, nil
+}
+
+// Const returns the terminal for a constant.
+func (m *Manager) Const(v bool) Node {
+	if v {
+		return True
+	}
+	return False
+}
+
+// Level returns the variable a node tests (NumVars for terminals).
+func (m *Manager) Level(f Node) int { return int(m.nodes[f].level) }
+
+// Low and High return a node's cofactors; for terminals they return
+// the node itself.
+func (m *Manager) Low(f Node) Node  { return m.nodes[f].low }
+func (m *Manager) High(f Node) Node { return m.nodes[f].high }
+
+// cofactors splits f by variable lv: if f tests lv its children,
+// otherwise (f is independent of lv, sitting deeper) f itself twice.
+func (m *Manager) cofactors(f Node, lv int32) (Node, Node) {
+	n := m.nodes[f]
+	if n.level == lv {
+		return n.low, n.high
+	}
+	return f, f
+}
+
+// iteRec is the memoised if-then-else kernel.
+func (m *Manager) iteRec(f, g, h Node) Node {
+	// Terminal and absorption cases, before touching the cache.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	// ITE(f, f, h) = ITE(f, 1, h); ITE(f, g, f) = ITE(f, g, 0).
+	if f == g {
+		g = True
+	}
+	if f == h {
+		h = False
+	}
+	key := [3]Node{f, g, h}
+	m.stats.CacheLookups++
+	if r, ok := m.ite[key]; ok {
+		m.stats.CacheHits++
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	if l := m.nodes[h].level; l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.iteRec(f0, g0, h0), m.iteRec(f1, g1, h1))
+	m.ite[key] = r
+	return r
+}
+
+// ITE returns if-then-else(f, g, h) = f·g + ¬f·h.
+func (m *Manager) ITE(f, g, h Node) (n Node, err error) {
+	defer m.guard(&n, &err)
+	return m.iteRec(f, g, h), nil
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) (n Node, err error) {
+	defer m.guard(&n, &err)
+	return m.iteRec(f, False, True), nil
+}
+
+// And returns f·g.
+func (m *Manager) And(f, g Node) (n Node, err error) {
+	defer m.guard(&n, &err)
+	return m.iteRec(f, g, False), nil
+}
+
+// Or returns f+g.
+func (m *Manager) Or(f, g Node) (n Node, err error) {
+	defer m.guard(&n, &err)
+	return m.iteRec(f, True, g), nil
+}
+
+// Xor returns f⊕g.
+func (m *Manager) Xor(f, g Node) (n Node, err error) {
+	defer m.guard(&n, &err)
+	return m.iteRec(f, m.iteRec(g, False, True), g), nil
+}
+
+// Eval evaluates f under a complete assignment (indexed by variable
+// level).
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}

@@ -1,0 +1,127 @@
+package bdd_test
+
+import (
+	"errors"
+	"math/big"
+	"math/bits"
+	"testing"
+
+	"orap/internal/bdd"
+)
+
+// FuzzITE decodes the fuzz input into a random expression DAG over at
+// most 6 variables, built twice on one Manager, and checks the
+// canonicity contract against a concrete truth table carried alongside
+// every stack entry: equal truth tables ⇔ identical node IDs, and
+// SatCount must equal the table's popcount. The same convention as
+// internal/sat's FuzzSolver: a checked-in seed corpus replays under
+// plain `go test`, including the -race leg.
+func FuzzITE(f *testing.F) {
+	f.Add([]byte{3, 0x00, 0x01, 0x82, 0x02, 0xc1})
+	f.Add([]byte{6, 0x00, 0x01, 0x83, 0x02, 0x03, 0x84, 0x04, 0x05, 0x85, 0xc2})
+	f.Add([]byte{2, 0x00, 0x00, 0x82, 0x01, 0xc0, 0x83})
+	f.Add([]byte{1, 0x00, 0xc0, 0xc0, 0xc0})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) < 2 || len(prog) > 512 {
+			return
+		}
+		nv := 1 + int(prog[0]%6)
+		m := bdd.New(nv, 1<<12)
+		mask := uint64(1)<<(1<<uint(nv)) - 1
+		if nv == 6 {
+			mask = ^uint64(0)
+		}
+		// varTab[v] is the truth table of variable v over nv variables
+		// (minterm index bit v selects the variable's value).
+		varTab := make([]uint64, nv)
+		for v := 0; v < nv; v++ {
+			for minterm := 0; minterm < 1<<uint(nv); minterm++ {
+				if minterm>>uint(v)&1 == 1 {
+					varTab[v] |= 1 << uint(minterm)
+				}
+			}
+		}
+
+		type entry struct {
+			n   bdd.Node
+			tab uint64
+		}
+		var stack []entry
+		pop := func() entry {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return e
+		}
+		// Each byte is one stack-machine instruction: low 6 bits select
+		// the operand, the top two bits the opcode family — push var,
+		// binary op (and/or/xor by operand%3), unary not, or dup.
+		for _, b := range prog[1:] {
+			var err error
+			switch b >> 6 {
+			case 0, 1: // push variable
+				v := int(b&0x3f) % nv
+				var n bdd.Node
+				n, err = m.Var(v)
+				stack = append(stack, entry{n, varTab[v]})
+			case 2: // binary
+				if len(stack) < 2 {
+					continue
+				}
+				x, y := pop(), pop()
+				var n bdd.Node
+				var tab uint64
+				switch b % 3 {
+				case 0:
+					n, err = m.And(x.n, y.n)
+					tab = x.tab & y.tab
+				case 1:
+					n, err = m.Or(x.n, y.n)
+					tab = x.tab | y.tab
+				default:
+					n, err = m.Xor(x.n, y.n)
+					tab = x.tab ^ y.tab
+				}
+				stack = append(stack, entry{n, tab & mask})
+			case 3: // not
+				if len(stack) < 1 {
+					continue
+				}
+				x := pop()
+				var n bdd.Node
+				n, err = m.Not(x.n)
+				stack = append(stack, entry{n, ^x.tab & mask})
+			}
+			if err != nil {
+				if errors.Is(err, bdd.ErrBudget) {
+					return // budget trip is a legal outcome, not a bug
+				}
+				t.Fatal(err)
+			}
+		}
+
+		assign := make([]bool, nv)
+		for i, e := range stack {
+			// Semantics: the BDD agrees with the truth table everywhere.
+			for minterm := 0; minterm < 1<<uint(nv); minterm++ {
+				for v := 0; v < nv; v++ {
+					assign[v] = minterm>>uint(v)&1 == 1
+				}
+				if m.Eval(e.n, assign) != (e.tab>>uint(minterm)&1 == 1) {
+					t.Fatalf("entry %d: BDD disagrees with table at minterm %d", i, minterm)
+				}
+			}
+			// Exact model count.
+			if got := m.SatCount(e.n); got.Cmp(big.NewInt(int64(bits.OnesCount64(e.tab)))) != 0 {
+				t.Fatalf("entry %d: SatCount %v, table popcount %d", i, got, bits.OnesCount64(e.tab))
+			}
+			// Canonicity: equal functions are the same node, different
+			// functions are different nodes.
+			for j := i + 1; j < len(stack); j++ {
+				if (e.tab == stack[j].tab) != (e.n == stack[j].n) {
+					t.Fatalf("canonicity violated: entries %d and %d have tabs %x/%x but nodes %d/%d",
+						i, j, e.tab, stack[j].tab, e.n, stack[j].n)
+				}
+			}
+		}
+	})
+}

@@ -52,31 +52,46 @@ func (s KeySet) Bits() []int {
 	return out
 }
 
-// KeyTaint is the key-taint domain: the abstract value of a net is the
-// set of key bits with a structural path to it — the nets that carry
-// key-dependent values, an over-approximation of actual key influence.
-// Each key input seeds its own bit; gates union their fanins. A primary
-// output with a non-empty set is in some key bit's corruption cone; one
-// with an empty set can never betray the key.
+// KeyTaint is the input-taint domain: the abstract value of a net is
+// the set of tracked inputs with a structural path to it — the nets
+// that carry values dependent on those inputs, an over-approximation
+// of actual influence. Each tracked input seeds its own bit; gates
+// union their fanins. Instantiated over the key inputs (NewKeyTaint) a
+// primary output with a non-empty set is in some key bit's corruption
+// cone; instantiated over every input (NewInputTaint with p.Inputs)
+// the fixpoint is each net's full input support — which is how the
+// audit's exact symbolic backend sizes a cone's BDD variable set
+// before committing a node budget to it.
 type KeyTaint struct {
 	p     *ir.Program
 	words int
-	// bitOf maps a node ID to its key-bit index, -1 for non-key nodes.
+	// bitOf maps a node ID to its tracked-input index, -1 for nodes
+	// that seed nothing.
 	bitOf []int32
 }
 
-// NewKeyTaint returns the key-taint domain for p.
+// NewKeyTaint returns the taint domain tracking p's key inputs: set
+// bit kb means key bit kb reaches the net.
 func NewKeyTaint(p *ir.Program) *KeyTaint {
+	return NewInputTaint(p, p.Keys)
+}
+
+// NewInputTaint returns the taint domain tracking an arbitrary input
+// subset: set bit i means inputs[i] reaches the net. Passing p.Inputs
+// tracks every input, so a solved value is the net's exact structural
+// support (PI bits first, key bits after, mirroring the p.Inputs
+// layout).
+func NewInputTaint(p *ir.Program, inputs []int32) *KeyTaint {
 	d := &KeyTaint{
 		p:     p,
-		words: (p.NumKeys() + 63) / 64,
+		words: (len(inputs) + 63) / 64,
 		bitOf: make([]int32, p.NumNodes()),
 	}
 	for i := range d.bitOf {
 		d.bitOf[i] = -1
 	}
-	for kb, kid := range p.Keys {
-		d.bitOf[kid] = int32(kb)
+	for i, id := range inputs {
+		d.bitOf[id] = int32(i)
 	}
 	return d
 }

@@ -47,6 +47,13 @@ type AttackRow struct {
 	// shared by both protection levels because OraP never rewrites the
 	// netlist.
 	Taint string
+	// Exact is the symbolic refinement of Taint from the audit's ROBDD
+	// backend: the minimum per-key-bit corruption rate over (input, key)
+	// pairs and how many key bits have at least one distinguishing
+	// input ("0.25r 16/16d"). Bits over the node budget append an "Nfb"
+	// fallback count; "budget(N)" means every bit fell back. Shared by
+	// both protection levels, like Taint.
+	Exact string
 	// Audit summarizes the static oracle-path audit of this protection
 	// level ("errors E / warnings W", plus effective/nominal key entropy
 	// for protected configurations) — the analyzer's verdict next to the
@@ -148,6 +155,10 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	exactCol, err := exactSummary(l.Circuit)
+	if err != nil {
+		return nil, err
+	}
 	auditCol := make(map[scan.Protection]string)
 	for _, prot := range []scan.Protection{scan.None, scan.OraPBasic} {
 		// The audit column is per protection level, not per attack: run the
@@ -173,7 +184,7 @@ func AttackStudy(opts AttackStudyOptions) ([]AttackRow, error) {
 		if err != nil {
 			return err
 		}
-		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1, Taint: taintCol, Audit: auditCol[prot]}
+		row := AttackRow{Attack: a.name, Protection: prot.String(), Disagreement: 1, Taint: taintCol, Exact: exactCol, Audit: auditCol[prot]}
 		res, err := a.run(o, opts.Seed)
 		// Channel telemetry comes from the session itself, so failed runs
 		// report their (wasted) channel usage too.
@@ -241,6 +252,41 @@ func taintSummary(c *netlist.Circuit) (string, error) {
 	return fmt.Sprintf("%d/%dPO %dL", tainted, prog.NumOutputs(), leaks), nil
 }
 
+// exactSummary condenses the audit's symbolic backend into a table
+// cell: the minimum per-key-bit corruption rate (how rarely the
+// hardest bit is observable — the quantity approximate attacks
+// exploit) and how many key bits provably have at least one
+// distinguishing input. Key bits whose cones blew the BDD node budget
+// are reported as a fallback suffix rather than silently dropped.
+func exactSummary(c *netlist.Circuit) (string, error) {
+	rep, err := audit.Analyze(c, audit.Options{Exact: true})
+	if err != nil {
+		return "", err
+	}
+	ex := rep.Exact
+	minRate, okBits, withDist := 1.0, 0, 0
+	for _, b := range ex.Bits {
+		if !b.OK {
+			continue
+		}
+		okBits++
+		if b.Rate < minRate {
+			minRate = b.Rate
+		}
+		if b.DistInputs.Sign() > 0 {
+			withDist++
+		}
+	}
+	if okBits == 0 {
+		return fmt.Sprintf("budget(%d)", ex.Stats.Fallbacks), nil
+	}
+	s := fmt.Sprintf("%.3gr %d/%dd", minRate, withDist, len(ex.Bits))
+	if ex.Stats.Fallbacks > 0 {
+		s += fmt.Sprintf(" %dfb", ex.Stats.Fallbacks)
+	}
+	return s, nil
+}
+
 // auditSummary condenses the oracle-path audit of a configuration into
 // a table cell: error/warning counts, and effective vs nominal key
 // entropy when the configuration carries an LFSR register.
@@ -279,7 +325,7 @@ func newScanOracle(l *lock.Locked, prof benchgen.Profile, prot scan.Protection, 
 
 // FormatAttackStudy renders the attack comparison.
 func FormatAttackStudy(rows []AttackRow) string {
-	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Unique", "Hit%", "Scan cycles", "Taint", "Audit", "Note"}
+	header := []string{"Attack", "Oracle", "Converged", "Key correct", "Disagreement", "Iters", "Queries", "Unique", "Hit%", "Scan cycles", "Taint", "Exact", "Audit", "Note"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -294,6 +340,7 @@ func FormatAttackStudy(rows []AttackRow) string {
 			fmt.Sprintf("%.1f", r.CacheHitPct),
 			fmt.Sprint(r.ScanCycles),
 			r.Taint,
+			r.Exact,
 			r.Audit,
 			r.Note,
 		})

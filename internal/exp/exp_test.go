@@ -170,9 +170,19 @@ func TestAttackStudyShape(t *testing.T) {
 		if !strings.Contains(r.Taint, "PO") || !strings.HasSuffix(r.Taint, " 0L") {
 			t.Errorf("%s/%s: taint column %q, want tainted-PO figure with zero key leaks", r.Attack, r.Protection, r.Taint)
 		}
+		// The exact column refines the taint bound symbolically: at this
+		// scale every cone fits the BDD budget, so the column must carry
+		// a model-counted rate and a distinguishing-input tally, with no
+		// budget fallbacks.
+		if !strings.Contains(r.Exact, "r ") || !strings.Contains(r.Exact, "d") {
+			t.Errorf("%s/%s: exact column %q, want rate and distinguishing-input figures", r.Attack, r.Protection, r.Exact)
+		}
+		if strings.Contains(r.Exact, "fb") || strings.Contains(r.Exact, "budget") {
+			t.Errorf("%s/%s: exact column %q reports budget fallbacks at study scale", r.Attack, r.Protection, r.Exact)
+		}
 	}
 	text := FormatAttackStudy(rows)
-	for _, col := range []string{"Taint", "Audit", "Unique", "Hit%", "Scan cycles"} {
+	for _, col := range []string{"Taint", "Exact", "Audit", "Unique", "Hit%", "Scan cycles"} {
 		if !strings.Contains(text, col) {
 			t.Fatalf("formatted study missing the %s column:\n%s", col, text)
 		}

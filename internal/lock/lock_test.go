@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"orap/internal/audit"
 	"orap/internal/circuits"
 	"orap/internal/netlist"
 	"orap/internal/rng"
@@ -11,9 +12,18 @@ import (
 )
 
 // assertEquivalentUnderKey exhaustively (up to 2^inputs ≤ 2^12) checks that
-// the locked circuit with the correct key matches the original.
+// the locked circuit with the correct key matches the original, then
+// confirms the audit's symbolic equivalence proof reaches the same
+// verdict over every input pattern at once.
 func assertEquivalentUnderKey(t *testing.T, orig *netlist.Circuit, l *Locked) {
 	t.Helper()
+	rep, err := audit.KeyEquivalence(l.Circuit, orig, l.Key, audit.ExactOptions{})
+	if err != nil {
+		t.Fatalf("symbolic equivalence proof: %v", err)
+	}
+	if rep.HasErrors() {
+		t.Fatalf("symbolic equivalence proof rejected the stored key:\n%s", rep)
+	}
 	n := orig.NumInputs()
 	if n > 12 {
 		t.Fatalf("circuit too wide for exhaustive check: %d inputs", n)
