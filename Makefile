@@ -11,9 +11,13 @@ vet:
 
 # The repo's own invariants (no math/rand or wall-clock reads in
 # internal/, Clone/Release pairing, ir.Program immutability, race-leg
-# test hygiene); see cmd/orapvet and DESIGN.md "Static analysis".
+# test hygiene) plus the interprocedural secret-flow engine behind the
+# nosecret rule; see cmd/orapvet and DESIGN.md "Static analysis". The
+# binary is built once so CI can rerun it with -report for the
+# machine-readable artifact without a second compile.
 orapvet:
-	$(GO) run ./cmd/orapvet
+	$(GO) build -o bin/orapvet ./cmd/orapvet
+	./bin/orapvet -report VET_report.json
 
 # Security clean-sweep: every shipped circuit × all five locking schemes
 # through the audit analyzer, plus the weighted + OraP oracle pairing.
@@ -49,13 +53,14 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench 'Serial|Parallel' -benchtime 3x .
 	$(GO) test -run '^$$' -bench 'CloneRelease|NewParallelNoPool' -benchmem ./internal/sim
 
-# One-iteration compile-and-run pass over the SAT-engine and dataflow
-# benchmarks: the legacy-vs-COI miter attack pair, the propagation
-# microbench, and the five-domain fixpoint sweep (whose worker-
-# invariance assertion runs before the timer). Catches benchmark
-# bit-rot in CI without paying for stable timings.
+# One-iteration compile-and-run pass over the SAT-engine, dataflow, and
+# vet benchmarks: the legacy-vs-COI miter attack pair, the propagation
+# microbench, the five-domain fixpoint sweep (whose worker-invariance
+# assertion runs before the timer), and a full secret-flow analysis of
+# the orapvet fixture module. Catches benchmark bit-rot in CI without
+# paying for stable timings.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate|Dataflow|BDDCompile|ExactCorrupt' -benchtime 1x ./internal/attack ./internal/sat ./internal/dataflow ./internal/bdd ./internal/audit
+	$(GO) test -run '^$$' -bench 'SATAttack|SolverPropagate|Dataflow|BDDCompile|ExactCorrupt|VetModule' -benchtime 1x ./internal/attack ./internal/sat ./internal/dataflow ./internal/bdd ./internal/audit ./internal/vet
 
 # Machine-readable oracle-channel benchmarks: the serial-vs-batched pairs
 # (scan protocol, disagreement sampling, AppSAT settlement) plus the

@@ -1,0 +1,3 @@
+module cleanfixture
+
+go 1.22

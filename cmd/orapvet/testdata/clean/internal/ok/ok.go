@@ -1,0 +1,4 @@
+// Package ok is the clean fixture: orapvet must exit 0 on this module.
+package ok
+
+func Answer() int { return 42 }

@@ -1,0 +1,20 @@
+// clonerelease path-sensitivity cases, in their own file so the
+// line-pinned findings in bad.go stay put.
+package bad
+
+import (
+	"errors"
+
+	"vetfixture/internal/sim"
+)
+
+// ClonePathLeak releases its clone on the happy path only: the early
+// error return leaks the pooled buffers.
+func ClonePathLeak(p *sim.Parallel, fail bool) error {
+	c := p.Clone()
+	if fail {
+		return errors.New("scan chain locked")
+	}
+	c.Release()
+	return nil
+}

@@ -1,0 +1,47 @@
+// Clean flows the engine must accept: sanitized formatting (by package
+// and by directive), redacted values through helpers, derived scalars.
+package flow
+
+import (
+	"fmt"
+
+	"vetfixture/internal/redact"
+	"vetfixture/internal/scan"
+)
+
+// emitStr prints an already-formatted string: safe for redacted input.
+func emitStr(s string) {
+	fmt.Println(s)
+}
+
+// Redacted formats the key through the sanctioned formatter.
+func Redacted(cfg scan.Config) {
+	fmt.Println(redact.Key(cfg.Key))
+}
+
+// RedactedDeep hands a redacted rendering through a helper.
+func RedactedDeep(cfg scan.Config) {
+	emitStr(redact.Vec(cfg.Seed))
+}
+
+// hexKey renders raw key bits — sanctioned here and only here, because
+// the directive marks this function as a formatter.
+//
+//vet:sanitizer
+func hexKey(bits []bool) string {
+	return fmt.Sprint(bits)
+}
+
+// Hexed is clean: hexKey is a directive-marked sanitizer.
+func Hexed(cfg scan.Config) {
+	emitStr(hexKey(cfg.Key))
+}
+
+// WidthOnly prints a derived scalar, the sanctioned shape for logs.
+func WidthOnly(cfg scan.Config) {
+	emitWidth(len(cfg.Key))
+}
+
+func emitWidth(n int) {
+	fmt.Printf("key width: %d\n", n)
+}

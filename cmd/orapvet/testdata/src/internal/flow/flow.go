@@ -1,0 +1,81 @@
+// Package flow exercises the interprocedural secret-flow engine: every
+// exported function in this file leaks key material through at least
+// one call hop, struct field or closure, and the expected findings
+// (with their witness chains) are line-pinned in internal/vet's tests.
+package flow
+
+import (
+	"fmt"
+	"os"
+
+	"vetfixture/internal/scan"
+)
+
+// emit is the shared leaf helper: its parameter reaches fmt.Println, so
+// any caller handing it key material leaks.
+func emit(bits []bool) {
+	fmt.Println(bits)
+}
+
+// Helper leaks through one call hop.
+func Helper(cfg scan.Config) {
+	emit(cfg.Key)
+}
+
+// relay adds a second hop on the way to emit.
+func relay(bits []bool) {
+	emit(bits)
+}
+
+// Deep leaks through two call hops.
+func Deep(cfg scan.Config) {
+	relay(cfg.Key)
+}
+
+// holder is deliberately not a secret-bearing type (its field is
+// neither key-named nor a gf2.Vec); only the flow engine can see the
+// key arrive in it.
+type holder struct {
+	bits []bool
+}
+
+func (h holder) show() {
+	fmt.Println(h.bits)
+}
+
+// Method leaks through a method on a struct the key was stored into.
+func Method(cfg scan.Config) {
+	h := holder{bits: cfg.Key}
+	h.show()
+}
+
+// Capture leaks through a closure capturing an alias of the key.
+func Capture(cfg scan.Config) {
+	b := cfg.Key
+	dump := func() {
+		fmt.Println(b)
+	}
+	dump()
+}
+
+// tee forwards its variadic arguments to the logger.
+func tee(vals ...interface{}) {
+	fmt.Println(vals...)
+}
+
+// Variadic leaks through a variadic ...interface{} parameter.
+func Variadic(cfg scan.Config) {
+	tee("key schedule:", cfg.Key)
+}
+
+// Whole prints an entire key-holding struct value: the finding names
+// the offending field.
+func Whole(cfg scan.Config) {
+	fmt.Printf("cfg=%+v\n", cfg)
+}
+
+// Raw writes rendered key bits to the process stdout stream. Two leaks:
+// the fmt.Sprint of the raw bits, and the os.Stdout write of its result.
+func Raw(cfg scan.Config) {
+	os.Stdout.WriteString(fmt.Sprint(cfg.Key))
+}

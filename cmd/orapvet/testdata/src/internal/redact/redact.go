@@ -1,0 +1,22 @@
+// Package redact mirrors the real module's sanctioned key formatters.
+// The flow engine treats every function in an internal/redact package
+// (and any function carrying a //vet:sanitizer directive) as a
+// sanitizer: taint stops at the call, and the formatter's own body is
+// exempt from sink findings.
+package redact
+
+import (
+	"fmt"
+
+	"vetfixture/internal/gf2"
+)
+
+//vet:sanitizer
+func Key(bits []bool) string {
+	return fmt.Sprintf("[%d bits]", len(bits))
+}
+
+//vet:sanitizer
+func Vec(v gf2.Vec) string {
+	return fmt.Sprintf("[vec %d]", v.Len())
+}

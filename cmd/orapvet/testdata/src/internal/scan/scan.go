@@ -1,0 +1,20 @@
+// Package scan mirrors the real module's oracle-facing configuration
+// types: a Config carries the loaded key and LFSR seed, a Chip embeds a
+// Config plus its key register. Both are secret-bearing types for the
+// flow engine — by field type (gf2.Vec) and by field name (Key []bool).
+package scan
+
+import "vetfixture/internal/gf2"
+
+type Config struct {
+	Width int
+	Key   []bool
+	Seed  gf2.Vec
+}
+
+type Chip struct {
+	cfg    Config
+	keyReg gf2.Vec
+}
+
+func (c *Chip) Width() int { return c.cfg.Width }

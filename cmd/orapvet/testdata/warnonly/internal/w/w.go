@@ -1,0 +1,6 @@
+// Package w exists so the warnonly fixture module typechecks; its only
+// finding is the warning-severity shortrace case in the test file,
+// pinning the exit-3 (warnings only) convention.
+package w
+
+func Version() int { return 1 }

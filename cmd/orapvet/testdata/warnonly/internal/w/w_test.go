@@ -1,0 +1,16 @@
+package w
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpawnsButShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { wg.Done() }()
+	wg.Wait()
+}

@@ -22,6 +22,8 @@ import (
 // across runs (no per-process seed), so traces stay comparable, and it
 // is not invertible beyond brute force over the keyspace — which is
 // exactly the work factor the locking scheme already assumes.
+//
+//vet:sanitizer
 func Key(key []bool) string {
 	h := fnv.New32a()
 	buf := make([]byte, (len(key)+7)/8)
@@ -35,4 +37,6 @@ func Key(key []bool) string {
 }
 
 // Vec is Key for gf2 vectors.
+//
+//vet:sanitizer
 func Vec(v gf2.Vec) string { return Key(v.Bools()) }

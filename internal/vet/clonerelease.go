@@ -1,0 +1,357 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleCloneRelease enforces that every sim.Parallel.Clone is released
+// on every path: each Clone must be followed by a Release call — or
+// covered by a defer Release — on all paths from the Clone to the
+// function's exit, not merely textually paired somewhere in the same
+// function. A Clone whose Release lives in a spawned goroutine or
+// worker closure counts as a handoff (the statement that contains the
+// Release covers it), matching the metrics.HammingDistance idiom.
+//
+// The analysis is structured and receiver-blind: it tracks "pending
+// clone" positions through the statement tree (if/else, switch, select,
+// loops, early returns) and clears them at any Release. No aliasing of
+// the cloned value is attempted — the rule is about the shape of the
+// function, like the rest of orapvet.
+func (a *analyzer) ruleCloneRelease(p *vetPkg, f *ast.File) {
+	simPath := a.modPath + "/internal/sim"
+	if p.path == simPath {
+		return // the methods' own package
+	}
+	cr := &cloneChecker{
+		a: a, p: p,
+		cloneName:   "(*" + simPath + ".Parallel).Clone",
+		releaseName: "(*" + simPath + ".Parallel).Release",
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		cr.checkUnit(fd.Name.Name, fd.Body, true)
+	}
+}
+
+type cloneChecker struct {
+	a           *analyzer
+	p           *vetPkg
+	cloneName   string
+	releaseName string
+	fnName      string
+}
+
+// crState is the path state: clones not yet released, and whether a
+// defer Release is in scope (covering every later exit).
+type crState struct {
+	pending  []token.Pos
+	deferred bool
+}
+
+func (s crState) clone() crState {
+	return crState{pending: append([]token.Pos(nil), s.pending...), deferred: s.deferred}
+}
+
+// checkUnit runs the path analysis over one function body. For the
+// top-level pass (nested=true→false… see below) closures are treated
+// as leaf contents; closures that contain BOTH a Clone and a Release
+// additionally get their own unit pass, so an early return inside a
+// worker closure is caught too.
+func (cr *cloneChecker) checkUnit(name string, body *ast.BlockStmt, top bool) {
+	// Cheap pre-pass: nothing to do without a Clone; and a function with
+	// a Clone but no Release at all keeps the classic message.
+	clones, releases := cr.count(body)
+	if clones == 0 {
+		return
+	}
+	if releases == 0 {
+		if pos := cr.firstClone(body); pos != token.NoPos {
+			cr.a.report(pos, RuleCloneRelease,
+				"%s calls sim.Parallel.Clone without a Release in the same function; the pooled buffers leak", name)
+		}
+		return
+	}
+	cr.fnName = name
+	st, terminated := cr.exec(body.List, crState{})
+	if !terminated {
+		cr.leak(st, body.End())
+	}
+	if top {
+		// Closures that manage their own clone lifecycle get a path pass
+		// of their own (their returns are their exits).
+		ast.Inspect(body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			c, r := cr.count(lit.Body)
+			if c > 0 && r > 0 {
+				cr.checkUnit(name, lit.Body, false)
+			}
+			return false // checkUnit recurses into deeper lits itself
+		})
+	}
+}
+
+// leak reports every pending clone as leaking at the path exit.
+func (cr *cloneChecker) leak(st crState, exit token.Pos) {
+	if st.deferred {
+		return
+	}
+	line := cr.a.fset.Position(exit).Line
+	for _, pos := range st.pending {
+		cr.a.report(pos, RuleCloneRelease,
+			"%s releases its sim.Parallel.Clone only on some paths; the path exiting at line %d skips Release and leaks the pooled buffers", cr.fnName, line)
+	}
+}
+
+// exec interprets a statement list, returning the fall-through state
+// and whether every path through the list terminates (returns or
+// branches away).
+func (cr *cloneChecker) exec(stmts []ast.Stmt, st crState) (crState, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = cr.execStmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (cr *cloneChecker) execStmt(s ast.Stmt, st crState) (crState, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return cr.exec(s.List, st)
+	case *ast.LabeledStmt:
+		return cr.execStmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		if containsCall(cr.p, s.Call, cr.releaseName) {
+			st.deferred = true
+		}
+		st = cr.scanLeaf(s.Call, st)
+		return st, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st = cr.scanLeaf(e, st)
+		}
+		cr.leak(st, s.Pos())
+		st.pending = nil
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; treating the
+		// path as terminated avoids false leaks at the list's exit.
+		return st, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = cr.execStmt(s.Init, st)
+		}
+		st = cr.scanLeaf(s.Cond, st)
+		thenSt, thenTerm := cr.exec(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = cr.execStmt(s.Else, st.clone())
+		}
+		return mergeStates(
+			[]crState{thenSt, elseSt},
+			[]bool{thenTerm, elseTerm})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return cr.execSwitch(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = cr.execStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = cr.scanLeaf(s.Cond, st)
+		}
+		bodySt, _ := cr.exec(s.Body.List, st.clone())
+		// The body may run zero times: merge its fall-through state with
+		// the skip state. Leaks at returns inside the body were reported
+		// during its exec.
+		out, _ := mergeStates([]crState{st, bodySt}, []bool{false, false})
+		return out, false
+	case *ast.RangeStmt:
+		st = cr.scanLeaf(s.X, st)
+		bodySt, _ := cr.exec(s.Body.List, st.clone())
+		out, _ := mergeStates([]crState{st, bodySt}, []bool{false, false})
+		return out, false
+	default:
+		// Leaf statement: assignments, expression statements, go
+		// statements, declarations, channel sends, …
+		st = cr.scanLeaf(s, st)
+		return st, false
+	}
+}
+
+// execSwitch handles switch/type-switch/select uniformly: each clause
+// body runs from the same entry state; the fall-through state is the
+// merge of the non-terminating clauses, plus the skip path when a
+// switch has no default clause.
+func (cr *cloneChecker) execSwitch(s ast.Stmt, st crState) (crState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = cr.execStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = cr.scanLeaf(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = cr.execStmt(s.Init, st)
+		}
+		st = cr.scanLeaf(s.Assign, st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		hasDefault = true // select always enters one of its clauses
+	}
+	var states []crState
+	var terms []bool
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		cs, ct := cr.exec(list, st.clone())
+		states, terms = append(states, cs), append(terms, ct)
+	}
+	if !hasDefault || len(states) == 0 {
+		states, terms = append(states, st), append(terms, false)
+	}
+	return mergeStates(states, terms)
+}
+
+// mergeStates joins branch states: the fall-through pending set is the
+// union over non-terminated branches, deferred only if every
+// non-terminated branch deferred. All branches terminated → terminated.
+func mergeStates(states []crState, terms []bool) (crState, bool) {
+	out := crState{deferred: true}
+	live := 0
+	seen := map[token.Pos]bool{}
+	for i, st := range states {
+		if terms[i] {
+			continue
+		}
+		live++
+		out.deferred = out.deferred && st.deferred
+		for _, p := range st.pending {
+			if !seen[p] {
+				seen[p] = true
+				out.pending = append(out.pending, p)
+			}
+		}
+	}
+	if live == 0 {
+		return crState{}, true
+	}
+	return out, false
+}
+
+// scanLeaf scans one leaf statement or expression for Clone and Release
+// calls (closure bodies included): clones become pending; any Release
+// clears the pending set — a statement containing both (a worker
+// closure that clones and releases, a goroutine handoff) nets out
+// clean here and is path-checked separately by checkUnit.
+func (cr *cloneChecker) scanLeaf(n ast.Node, st crState) crState {
+	if n == nil {
+		return st
+	}
+	var clones []token.Pos
+	released := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := callFullName(cr.p, call); name == cr.cloneName {
+			clones = append(clones, call.Pos())
+		} else if name == cr.releaseName {
+			released = true
+		}
+		return true
+	})
+	st.pending = append(st.pending, clones...)
+	if released {
+		st.pending = nil
+	}
+	return st
+}
+
+// count tallies Clone and Release calls under a node.
+func (cr *cloneChecker) count(n ast.Node) (clones, releases int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch callFullName(cr.p, call) {
+		case cr.cloneName:
+			clones++
+		case cr.releaseName:
+			releases++
+		}
+		return true
+	})
+	return
+}
+
+func (cr *cloneChecker) firstClone(n ast.Node) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(n, func(m ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && callFullName(cr.p, call) == cr.cloneName {
+			pos = call.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// callFullName resolves a call's target to its types.Func full name
+// ("" when the target is not a resolved function).
+func callFullName(p *vetPkg, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// containsCall reports whether a call expression (or anything under it)
+// resolves to the named function.
+func containsCall(p *vetPkg, n ast.Node, full string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && callFullName(p, call) == full {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,221 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// analyzer parses and typechecks the module's packages on demand and
+// accumulates findings. Module packages are resolved from the source
+// tree; standard-library imports are delegated to the go/importer
+// source importer. Test files are parsed but never typechecked
+// (external _test packages would need the full go test harness); the
+// only test-file rule is syntactic.
+type analyzer struct {
+	fset     *token.FileSet
+	modRoot  string
+	modPath  string
+	stdlib   types.Importer
+	pkgs     map[string]*vetPkg
+	order    []string // load order of module package paths
+	findings []Finding
+
+	// Secret-flow engine state; see taint.go.
+	funcs   map[*types.Func]*funcNode
+	fnOrder []*funcNode
+}
+
+type vetPkg struct {
+	path      string
+	files     []*ast.File
+	testFiles []*ast.File
+	pkg       *types.Package
+	info      *types.Info
+	err       error
+}
+
+// inInternal reports whether the package lives under internal/ — the
+// scope of the norand, nowalltime and nosecret rules.
+func (p *vetPkg) inInternal() bool {
+	return strings.Contains(p.path+"/", "/internal/")
+}
+
+func newAnalyzer(modRoot, modPath string) *analyzer {
+	a := &analyzer{
+		fset:    token.NewFileSet(),
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    map[string]*vetPkg{},
+		funcs:   map[*types.Func]*funcNode{},
+	}
+	a.stdlib = importer.ForCompiler(a.fset, "source", nil)
+	return a
+}
+
+// loadAll loads every package under ./internal/... and ./cmd/...,
+// returning the first load error (nil when everything typechecks).
+func (a *analyzer) loadAll() error {
+	var paths []string
+	for _, sub := range []string{"internal", "cmd"} {
+		paths = append(paths, a.packagesUnder(sub)...)
+	}
+	var firstErr error
+	for _, path := range paths {
+		if _, err := a.load(path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// loaded returns the successfully loaded module packages in load order.
+func (a *analyzer) loaded() []*vetPkg {
+	var out []*vetPkg
+	for _, path := range a.order {
+		if p := a.pkgs[path]; p.err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// packagesUnder lists the import paths of the Go packages below a
+// module subdirectory, skipping testdata trees.
+func (a *analyzer) packagesUnder(sub string) []string {
+	seen := map[string]bool{}
+	var paths []string
+	root := filepath.Join(a.modRoot, sub)
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(a.modRoot, filepath.Dir(path))
+		if err != nil {
+			return nil
+		}
+		ip := a.modPath + "/" + filepath.ToSlash(rel)
+		if !seen[ip] {
+			seen[ip] = true
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	sort.Strings(paths)
+	return paths
+}
+
+// Import resolves an import path for the typechecker: module-local
+// packages load from the source tree, everything else from the
+// standard library.
+func (a *analyzer) Import(path string) (*types.Package, error) {
+	if path == a.modPath || strings.HasPrefix(path, a.modPath+"/") {
+		p, err := a.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return a.stdlib.Import(path)
+}
+
+// load parses and typechecks one module package, memoized. Comments are
+// kept so sanitizer directives (//vet:sanitizer) are visible.
+func (a *analyzer) load(path string) (*vetPkg, error) {
+	if p, ok := a.pkgs[path]; ok {
+		return p, p.err
+	}
+	p := &vetPkg{path: path}
+	a.pkgs[path] = p
+	a.order = append(a.order, path)
+	dir := filepath.Join(a.modRoot, filepath.FromSlash(strings.TrimPrefix(path, a.modPath+"/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = fmt.Errorf("orapvet: %s: %w", path, err)
+		return p, p.err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		file, err := parser.ParseFile(a.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p, p.err
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			p.testFiles = append(p.testFiles, file)
+		} else {
+			p.files = append(p.files, file)
+		}
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("orapvet: %s: no Go files", path)
+		return p, p.err
+	}
+	p.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: a}
+	p.pkg, err = conf.Check(path, a.fset, p.files, p.info)
+	if err != nil {
+		p.err = err
+		return p, p.err
+	}
+	return p, nil
+}
+
+func (a *analyzer) report(pos token.Pos, rule, format string, args ...interface{}) {
+	a.findings = append(a.findings, Finding{
+		Pos:  a.fset.Position(pos),
+		Rule: rule,
+		Sev:  severityOf(rule),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,245 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// walkSinks runs the reporting walk over one function body against the
+// current summaries: it records which inputs reach a sink (the
+// function's own summary for the next fixpoint round) and, on the final
+// emit pass, produces the nosecret findings with their witness chains.
+func (sc *scope) walkSinks(emit bool) *summary {
+	sum := newSummary()
+
+	// Result flows: inputs (and intrinsic sources) that reach a result.
+	var flowMask uint64
+	for _, r := range sc.returns {
+		flowMask |= sc.exprMask(r, 0)
+	}
+	if sc.bareReturn {
+		for _, obj := range sc.named {
+			flowMask |= sc.masks[obj]
+		}
+	}
+	sum.flows = flowMask & inputMask
+	if flowMask&intrinsicBit != 0 {
+		sum.intrinsic = true
+		for _, r := range sc.returns {
+			if sc.exprMask(r, 0)&intrinsicBit != 0 {
+				sum.intOrigin = sc.originOfExpr(r, 0)
+				break
+			}
+		}
+	}
+
+	// Sanctioned formatters may touch raw key material — that is their
+	// job — so their bodies are exempt from sink findings.
+	skip := sc.node.sanitizer || strings.HasSuffix(sc.p.path, "/internal/redact")
+
+	seen := map[string]bool{}
+	ast.Inspect(sc.node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !skip {
+			if name, ok := sc.a.sinkCall(sc.p, call); ok {
+				sc.handleSink(sum, call, name, emit, seen)
+			}
+			if node := sc.a.calleeNode(sc.p, call); node != nil && !node.sanitizer {
+				sc.handleModuleCall(sum, node, call, emit, seen)
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// sinkCall classifies a call as an output sink: the fmt/log print
+// family, or a Write/WriteString on os.Stdout or os.Stderr.
+func (a *analyzer) sinkCall(p *vetPkg, call *ast.CallExpr) (string, bool) {
+	full := callFullName(p, call)
+	if printFamily[full] {
+		return full, true
+	}
+	if full == "(*os.File).Write" || full == "(*os.File).WriteString" {
+		sel := call.Fun.(*ast.SelectorExpr)
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if obj := p.info.Uses[inner.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return "os." + obj.Name() + "." + sel.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// handleSink examines every argument of an output call. The
+// classification precedence mirrors the messages: a gf2.Vec by type, a
+// key-embedding struct by type, key-named []bool bits by name, then
+// anything the flow engine proved to carry key material (with its
+// witness chain). Arguments that merely depend on the function's own
+// inputs become summary entries for the callers to judge.
+func (sc *scope) handleSink(sum *summary, call *ast.CallExpr, sinkName string, emit bool, seen map[string]bool) {
+	sinkHop := Hop{Kind: "sink", Desc: sinkName, Pos: sc.a.fset.Position(call.Pos())}
+	for _, arg := range call.Args {
+		m := sc.exprMask(arg, 0)
+		for j := 0; j <= maxInputBit && m&inputMask != 0; j++ {
+			if m&(uint64(1)<<uint(j)) != 0 {
+				addChain(sum, j, chain{sinkHop}, seen)
+			}
+		}
+		if !emit {
+			continue
+		}
+		t := sc.typeOf(arg)
+		name := baseName(arg)
+		switch {
+		case sc.a.isGF2Vec(t):
+			sc.a.reportChain(arg.Pos(), sc.sourceSinkChain(arg, sinkHop),
+				"%s passes gf2.Vec %q; format it with internal/redact.Vec", sinkName, name)
+		case isStructish(t) && sc.a.secretField(t) != "":
+			sc.a.reportChain(arg.Pos(), sc.sourceSinkChain(arg, sinkHop),
+				"%s passes %s %q whose field %s holds key material; format the field with internal/redact",
+				sinkName, typeStr(t), name, sc.a.secretField(t))
+		case isBoolSlice(t) && keyish(name):
+			sc.a.reportChain(arg.Pos(), sc.sourceSinkChain(arg, sinkHop),
+				"%s passes raw key bits %q; format them with internal/redact.Key", sinkName, name)
+		case m&anySrc != 0:
+			o := sc.originOfExpr(arg, 0)
+			if o == nil {
+				o = &origin{kind: srcDerived, name: name, pos: arg.Pos()}
+			}
+			ch := chain{{Kind: "source", Desc: o.desc(), Pos: sc.a.fset.Position(o.pos)}, sinkHop}
+			if id, ok := arg.(*ast.Ident); ok && o.kind == srcName && o.name != id.Name {
+				sc.a.reportChain(arg.Pos(), ch,
+					"%s passes raw key bits %q (aliased from %q); format them with internal/redact.Key",
+					sinkName, id.Name, o.name)
+			} else {
+				sc.a.reportChain(arg.Pos(), ch,
+					"%s receives key material derived from %q; format it with internal/redact.Key",
+					sinkName, o.name)
+			}
+		}
+	}
+}
+
+// handleModuleCall propagates a callee's sink summary to this call
+// site: arguments that depend on this function's inputs extend the
+// summary chains one hop; arguments carrying key material outright
+// become findings whose witness chain crosses the call. Type-based
+// sources (a gf2.Vec, a key-holding struct) are left to fire inside the
+// callee, where the sink is — one finding per leak, at the leak.
+func (sc *scope) handleModuleCall(sum *summary, node *funcNode, call *ast.CallExpr, emit bool, seen map[string]bool) {
+	callHop := Hop{Kind: "call", Desc: node.relName(), Pos: sc.a.fset.Position(call.Pos())}
+	for _, b := range sc.a.bindArgs(node, call) {
+		chains := node.sum.sinks[b.input]
+		if len(chains) == 0 {
+			continue
+		}
+		am := sc.exprMask(b.arg, 0)
+		if am == 0 {
+			continue
+		}
+		for j := 0; j <= maxInputBit; j++ {
+			if am&(uint64(1)<<uint(j)) == 0 {
+				continue
+			}
+			for _, ch := range chains {
+				if len(ch)+1 <= maxChainHops {
+					addChain(sum, j, append(chain{callHop}, ch...), seen)
+				}
+			}
+		}
+		if am&intrinsicBit == 0 || !emit {
+			continue
+		}
+		o := sc.originOfExpr(b.arg, 0)
+		if o == nil || o.kind == srcVec || o.kind == srcStruct {
+			continue // the callee's own sink pass reports these
+		}
+		ch := chains[0]
+		full := append(chain{
+			{Kind: "source", Desc: o.desc(), Pos: sc.a.fset.Position(o.pos)},
+			callHop,
+		}, ch...)
+		key := fmt.Sprintf("emit|%v|%v", b.arg.Pos(), ch[len(ch)-1].Pos)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sc.a.reportChain(b.arg.Pos(), full,
+			"key material from %q reaches %s via %s; format it with internal/redact.Key",
+			o.name, ch[len(ch)-1].Desc, node.relName())
+	}
+}
+
+// sourceSinkChain builds the two-hop witness for an intraprocedural
+// finding: the argument itself is the source.
+func (sc *scope) sourceSinkChain(arg ast.Expr, sinkHop Hop) chain {
+	desc := types.ExprString(arg)
+	if o := sc.originOfExpr(arg, 0); o != nil {
+		desc = o.desc()
+	}
+	return chain{{Kind: "source", Desc: desc, Pos: sc.a.fset.Position(arg.Pos())}, sinkHop}
+}
+
+// addChain records a sink chain on a summary input, deduplicated by
+// endpoints and capped.
+func addChain(sum *summary, input int, ch chain, seen map[string]bool) {
+	if len(sum.sinks[input]) >= maxChains {
+		return
+	}
+	key := fmt.Sprintf("sum|%d|%v|%v", input, ch[0].Pos, ch[len(ch)-1].Pos)
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	sum.sinks[input] = append(sum.sinks[input], ch)
+}
+
+// reportChain is report plus a witness chain.
+func (a *analyzer) reportChain(pos token.Pos, ch chain, format string, args ...interface{}) {
+	a.findings = append(a.findings, Finding{
+		Pos:   a.fset.Position(pos),
+		Rule:  RuleNoSecret,
+		Sev:   severityOf(RuleNoSecret),
+		Msg:   fmt.Sprintf(format, args...),
+		Chain: ch,
+	})
+}
+
+// isStructish reports whether a type is a struct or pointer to struct —
+// the shapes the whole-value print finding covers.
+func isStructish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Struct); ok {
+		return true
+	}
+	return isPointerToStruct(t)
+}
+
+// baseName digs out the identifier an argument expression reads from,
+// for the key-naming heuristic ("" when there is none, e.g. a call
+// result).
+func baseName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return baseName(e.X)
+	case *ast.ParenExpr:
+		return baseName(e.X)
+	case *ast.StarExpr:
+		return baseName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,1013 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The interprocedural secret-flow engine behind the nosecret rule.
+//
+// Per function the engine computes a taint summary: which inputs
+// (receiver + parameters) reach an output sink if they carry key
+// material, and whether any input or intrinsic source reaches the
+// function's results. Summaries are solved to a fixpoint over the
+// module's call graph (direct calls, method calls on concrete types,
+// closures bound to single-assignment locals), so a key bit that takes
+// two hops through helpers is still caught — with a witness chain.
+//
+// Taint is "must" at variable granularity: a local is tainted only if
+// every rebinding write is tainted (a reassigned local provably no
+// longer holds the key), while element/accumulator writes (x[i] = …,
+// x = append(x, …)) accumulate. Taint never crosses scalar types —
+// len(key), a width, a popcount are sanctioned derived values (the
+// internal/redact philosophy) — and never rides error values, which is
+// the fmt.Errorf exemption generalized.
+
+const (
+	// intrinsicBit marks value-carried key material: the expression was
+	// built from a key source and stays tainted through assignments and
+	// calls. typeSrcBit marks type-carried material — the expression's
+	// own static type embeds a source (a gf2.Vec, a key-holding struct).
+	// The two differ at field selection: a non-secret field read off a
+	// key-holding struct drops the type taint (l.Circuit off a
+	// lock.Locked is clean), while value taint survives. typeSrcBit
+	// never needs interprocedural propagation because every expression's
+	// own type is re-classified where it appears.
+	intrinsicBit = uint64(1) << 63
+	typeSrcBit   = uint64(1) << 62
+	anySrc       = intrinsicBit | typeSrcBit
+	inputMask    = typeSrcBit - 1
+	maxInputBit  = 61
+	maxChainHops = 12
+	maxChains    = 8
+	maxRounds    = 10
+)
+
+// printFamily is the fmt and log output surface covered by nosecret:
+// every call that renders its arguments somewhere a developer might
+// leave enabled in production, including the standard logger and its
+// method set. fmt.Errorf is deliberately absent — wrapping key material
+// into an error for the caller to redact is the sanctioned pattern.
+var printFamily = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Sprint": true, "fmt.Sprintf": true, "fmt.Sprintln": true,
+
+	"log.Print": true, "log.Printf": true, "log.Println": true,
+	"log.Fatal": true, "log.Fatalf": true, "log.Fatalln": true,
+	"log.Panic": true, "log.Panicf": true, "log.Panicln": true,
+
+	"(*log.Logger).Print": true, "(*log.Logger).Printf": true, "(*log.Logger).Println": true,
+	"(*log.Logger).Fatal": true, "(*log.Logger).Fatalf": true, "(*log.Logger).Fatalln": true,
+	"(*log.Logger).Panic": true, "(*log.Logger).Panicf": true, "(*log.Logger).Panicln": true,
+}
+
+// funcNode is one module function in the flow engine's call graph.
+type funcNode struct {
+	p         *vetPkg
+	decl      *ast.FuncDecl
+	obj       *types.Func
+	inputs    []types.Object // receiver (if any) then parameters
+	hasRecv   bool
+	sanitizer bool
+	sum       *summary
+	sc        *scope // cached write/return structure of the body
+}
+
+// relName renders the function name package-qualified, with the
+// receiver type for methods: "flow.relay", "flow.holder.show".
+func (n *funcNode) relName() string {
+	pkg := n.p.pkg.Name()
+	if n.hasRecv {
+		recv := n.obj.Type().(*types.Signature).Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + n.obj.Name()
+		}
+	}
+	return pkg + "." + n.obj.Name()
+}
+
+// chain is a witness-chain suffix stored in summaries: the hops from a
+// function input to a sink, excluding the caller's side.
+type chain []Hop
+
+// summary is a function's taint summary.
+type summary struct {
+	sinks     map[int][]chain // input index -> sink chains
+	flows     uint64          // input bits whose taint reaches a result
+	intrinsic bool            // some result carries key material unconditionally
+	intOrigin *origin
+}
+
+func newSummary() *summary { return &summary{sinks: map[int][]chain{}} }
+
+func (s *summary) equal(t *summary) bool {
+	if s == nil || t == nil {
+		return s == t
+	}
+	if s.flows != t.flows || s.intrinsic != t.intrinsic || len(s.sinks) != len(t.sinks) {
+		return false
+	}
+	for j, cs := range s.sinks {
+		ts := t.sinks[j]
+		if len(cs) != len(ts) {
+			return false
+		}
+		for i := range cs {
+			if len(cs[i]) != len(ts[i]) || cs[i][0].Pos != ts[i][0].Pos ||
+				cs[i][len(cs[i])-1].Pos != ts[i][len(ts[i])-1].Pos {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// srcKind classifies why a value is a source, which picks the finding's
+// message form.
+type srcKind int
+
+const (
+	srcName    srcKind = iota // key-named []bool variable or field
+	srcVec                    // gf2.Vec, by type
+	srcStruct                 // struct embedding key material, by type
+	srcDerived                // produced by a callee's tainted result
+)
+
+// origin records where key material entered a flow.
+type origin struct {
+	kind  srcKind
+	name  string // short name for messages ("Key", "cfg.Key")
+	field string // offending field path, for srcStruct
+	typ   string // rendered type, for srcStruct
+	pos   token.Pos
+}
+
+func (o *origin) desc() string {
+	switch o.kind {
+	case srcVec:
+		return fmt.Sprintf("gf2.Vec value %s", o.name)
+	case srcStruct:
+		return fmt.Sprintf("%s value %s (field %s holds key material)", o.typ, o.name, o.field)
+	case srcDerived:
+		return fmt.Sprintf("key material derived from %s", o.name)
+	}
+	return fmt.Sprintf("key bits %s", o.name)
+}
+
+// write is one recorded write to a tracked object.
+type write struct {
+	rhs    ast.Expr // expression whose taint flows in (nil -> fixed)
+	fixed  uint64
+	update bool // element/field/accumulator write: OR instead of AND
+}
+
+// scope is the cached per-function structure the mask fixpoint runs
+// over: every write to every local (closure bodies included, sharing
+// the enclosing function's environment), the closure bindings, and the
+// return expressions.
+type scope struct {
+	a    *analyzer
+	p    *vetPkg
+	node *funcNode
+
+	writes     map[types.Object][]write
+	order      []types.Object // deterministic fixpoint order
+	inputBit   map[types.Object]int
+	localLits  map[types.Object]*ast.FuncLit
+	litReturns map[*ast.FuncLit][]ast.Expr
+	returns    []ast.Expr // top-level return expressions
+	bareReturn bool
+	named      []types.Object // named results, read by bare returns
+
+	masks   map[types.Object]uint64
+	origins map[types.Object]*origin
+	inOrig  map[types.Object]bool // recursion guard for originOf
+}
+
+// ---------------------------------------------------------------------
+// Index construction
+
+// indexFuncs registers every FuncDecl in internal/ packages as a call
+// graph node. cmd/ packages are not analyzed: the cmd layer is the
+// sanctioned place to print (it is where orapattack reports a recovered
+// key), exactly as under the previous syntactic rule.
+func (a *analyzer) indexFuncs() {
+	for _, p := range a.loaded() {
+		if !p.inInternal() {
+			continue
+		}
+		for _, f := range p.files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &funcNode{p: p, decl: fd, obj: obj, sum: newSummary(), sanitizer: isSanitizer(p, fd)}
+				sig := obj.Type().(*types.Signature)
+				if r := sig.Recv(); r != nil {
+					n.hasRecv = true
+					n.inputs = append(n.inputs, r)
+				}
+				for i := 0; i < sig.Params().Len(); i++ {
+					n.inputs = append(n.inputs, sig.Params().At(i))
+				}
+				a.funcs[obj] = n
+				a.fnOrder = append(a.fnOrder, n)
+			}
+		}
+	}
+}
+
+// isSanitizer reports whether a function is a sanctioned key formatter:
+// anything in an internal/redact package, or carrying an explicit
+// //vet:sanitizer directive.
+func isSanitizer(p *vetPkg, fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(p.path, "/internal/redact") {
+		return true
+	}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.TrimSpace(c.Text) == "//vet:sanitizer" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runTaint solves the summaries to a fixpoint (Gauss–Seidel over the
+// deterministic function order), then re-walks every function once to
+// emit findings against the converged summaries.
+func (a *analyzer) runTaint() {
+	a.indexFuncs()
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range a.fnOrder {
+			ns := a.analyzeFn(n, false)
+			if !ns.equal(n.sum) {
+				changed = true
+			}
+			n.sum = ns
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range a.fnOrder {
+		a.analyzeFn(n, true)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Per-function analysis
+
+func (a *analyzer) analyzeFn(n *funcNode, emit bool) *summary {
+	if n.sc == nil {
+		n.sc = a.collect(n)
+	}
+	sc := n.sc
+	sc.solve()
+	return sc.walkSinks(emit)
+}
+
+// collect builds the write environment of one function body: input
+// seeds, every assignment (classified rebind vs update), closure
+// bindings and returns.
+func (a *analyzer) collect(n *funcNode) *scope {
+	sc := &scope{
+		a: a, p: n.p, node: n,
+		writes:     map[types.Object][]write{},
+		inputBit:   map[types.Object]int{},
+		localLits:  map[types.Object]*ast.FuncLit{},
+		litReturns: map[*ast.FuncLit][]ast.Expr{},
+	}
+	for i, in := range n.inputs {
+		b := i
+		if b > maxInputBit {
+			b = maxInputBit
+		}
+		sc.inputBit[in] = b
+		sc.addWrite(in, write{fixed: uint64(1) << b})
+	}
+	if res := n.decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, name := range f.Names {
+				if obj := n.p.info.Defs[name]; obj != nil {
+					sc.named = append(sc.named, obj)
+				}
+			}
+		}
+	}
+
+	// Track FuncLit nesting so returns attribute to the right unit.
+	var lits []*ast.FuncLit
+	innermostLit := func(pos token.Pos) *ast.FuncLit {
+		var best *ast.FuncLit
+		for _, l := range lits {
+			if l.Body.Pos() <= pos && pos <= l.Body.End() {
+				if best == nil || (best.Pos() <= l.Pos() && l.End() <= best.End()) {
+					best = l
+				}
+			}
+		}
+		return best
+	}
+	ast.Inspect(n.decl.Body, func(m ast.Node) bool {
+		if l, ok := m.(*ast.FuncLit); ok {
+			lits = append(lits, l)
+		}
+		return true
+	})
+
+	writeCount := map[types.Object]int{}
+	litCandidate := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(n.decl.Body, func(m ast.Node) bool {
+		switch st := m.(type) {
+		case *ast.AssignStmt:
+			paired := len(st.Lhs) == len(st.Rhs)
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if paired {
+					rhs = st.Rhs[i]
+				} else {
+					rhs = st.Rhs[0] // tuple: every lhs gets the call's mask
+				}
+				sc.recordAssign(lhs, rhs, writeCount, litCandidate, st.Tok == token.DEFINE)
+			}
+		case *ast.RangeStmt:
+			if obj := sc.lhsObject(st.Key); obj != nil {
+				sc.addWrite(obj, write{})
+				writeCount[obj]++
+			}
+			if st.Value != nil {
+				if obj := sc.lhsObject(st.Value); obj != nil {
+					// An element of a tainted container is tainted.
+					sc.addWrite(obj, write{rhs: st.X})
+					writeCount[obj]++
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := sc.lhsObject(st.X); obj != nil {
+				sc.addWrite(obj, write{})
+				writeCount[obj]++
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				obj := sc.p.info.Defs[name]
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				if i < len(st.Values) {
+					sc.addWrite(obj, write{rhs: st.Values[i]})
+				} else {
+					sc.addWrite(obj, write{})
+				}
+				writeCount[obj]++
+			}
+		case *ast.ReturnStmt:
+			if lit := innermostLit(st.Pos()); lit != nil {
+				sc.litReturns[lit] = append(sc.litReturns[lit], st.Results...)
+			} else {
+				if len(st.Results) == 0 {
+					sc.bareReturn = true
+				}
+				sc.returns = append(sc.returns, st.Results...)
+			}
+		}
+		return true
+	})
+
+	// Single-assignment locals bound to closures become call targets.
+	for obj, lit := range litCandidate {
+		if writeCount[obj] == 1 {
+			sc.localLits[obj] = lit
+		}
+	}
+	// Bind call-site arguments into closure parameters (may-taint:
+	// one tainted caller taints the parameter).
+	ast.Inspect(n.decl.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var lit *ast.FuncLit
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if obj := sc.p.info.Uses[fun]; obj != nil {
+				lit = sc.localLits[obj]
+			}
+		case *ast.FuncLit:
+			lit = fun // immediately invoked
+		}
+		if lit == nil {
+			return true
+		}
+		var params []types.Object
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := sc.p.info.Defs[name]; obj != nil {
+					params = append(params, obj)
+				}
+			}
+		}
+		for i, arg := range call.Args {
+			if len(params) == 0 {
+				break
+			}
+			j := i
+			if j >= len(params) {
+				j = len(params) - 1
+			}
+			sc.addWrite(params[j], write{rhs: arg, update: true})
+		}
+		return true
+	})
+	return sc
+}
+
+func (sc *scope) addWrite(obj types.Object, w write) {
+	if _, ok := sc.writes[obj]; !ok {
+		sc.order = append(sc.order, obj)
+	}
+	sc.writes[obj] = append(sc.writes[obj], w)
+}
+
+// recordAssign classifies one assignment target. Direct identifier
+// writes are rebinds unless the RHS reads the identifier itself
+// (x = append(x, …)); element and field writes (x[i] = …, s.f = …)
+// are always accumulating updates against the base object.
+func (sc *scope) recordAssign(lhs, rhs ast.Expr, writeCount map[types.Object]int, litCandidate map[types.Object]*ast.FuncLit, define bool) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := sc.lhsObject(l)
+		if obj == nil {
+			return
+		}
+		writeCount[obj]++
+		if define {
+			if lit, ok := rhs.(*ast.FuncLit); ok {
+				litCandidate[obj] = lit
+			}
+		}
+		sc.addWrite(obj, write{rhs: rhs, update: sc.readsObject(rhs, obj)})
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr, *ast.ParenExpr:
+		base := baseIdent(lhs)
+		if base == nil {
+			return
+		}
+		obj := sc.lhsObject(base)
+		if obj == nil {
+			return
+		}
+		writeCount[obj]++
+		sc.addWrite(obj, write{rhs: rhs, update: true})
+	}
+}
+
+func (sc *scope) lhsObject(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := sc.p.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return sc.p.info.Uses[id]
+}
+
+func (sc *scope) readsObject(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && sc.p.info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// solve iterates the object masks to a (bounded) fixpoint:
+// mask = AND(rebind writes) | OR(update writes), gated to zero on
+// types that cannot carry key material.
+func (sc *scope) solve() {
+	sc.masks = map[types.Object]uint64{}
+	sc.origins = map[types.Object]*origin{}
+	sc.inOrig = map[types.Object]bool{}
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, obj := range sc.order {
+			if !sc.a.capableType(obj.Type()) {
+				continue
+			}
+			var and uint64 = ^uint64(0)
+			var or uint64
+			hasRebind := false
+			for _, w := range sc.writes[obj] {
+				m := sc.writeMask(w)
+				if w.update {
+					or |= m
+				} else {
+					and &= m
+					hasRebind = true
+				}
+			}
+			nm := or
+			if hasRebind {
+				nm |= and
+			}
+			if sc.masks[obj] != nm {
+				sc.masks[obj] = nm
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (sc *scope) writeMask(w write) uint64 {
+	if w.rhs == nil {
+		return w.fixed
+	}
+	return w.fixed | sc.exprMask(w.rhs, 0)
+}
+
+// ---------------------------------------------------------------------
+// Expression taint
+
+// capableType reports whether a type can carry key material at all.
+// Scalars cannot: len(key), a Hamming weight, one derived count are the
+// sanctioned redact-style outputs. Errors cannot: that is the
+// fmt.Errorf exemption. Strings, slices, structs, pointers, interfaces
+// and maps can.
+func (a *analyzer) capableType(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Signature, *types.Chan:
+		return false
+	}
+	return true
+}
+
+func (sc *scope) typeOf(e ast.Expr) types.Type {
+	if tv, ok := sc.p.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// exprMask computes an expression's taint mask: which function inputs
+// it depends on (bits 0..62) and whether it carries key material
+// unconditionally (the intrinsic bit).
+func (sc *scope) exprMask(e ast.Expr, depth int) uint64 {
+	if e == nil || depth > 32 {
+		return 0
+	}
+	t := sc.typeOf(e)
+	if t != nil && !sc.a.capableType(t) {
+		return 0
+	}
+	var m uint64
+	// Type-based sources: gf2.Vec values, lfsr state, and any struct
+	// embedding either or a key-named []bool field.
+	if t != nil && (sc.a.isGF2Vec(t) || sc.a.secretField(t) != "") {
+		m |= typeSrcBit
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := sc.p.info.Uses[e]; obj != nil {
+			m |= sc.masks[obj]
+		} else if obj := sc.p.info.Defs[e]; obj != nil {
+			m |= sc.masks[obj]
+		}
+		if isBoolSlice(t) && keyish(e.Name) {
+			m |= intrinsicBit
+		}
+	case *ast.SelectorExpr:
+		if sel := sc.p.info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			// A field read drops the base's type taint: the field's own
+			// type was classified above. When the base's type is itself
+			// secret-bearing, its value taint is carried by its secret
+			// fields, so a selected field answers for itself too —
+			// l.Circuit off a lock.Locked{Circuit, Key} is clean, l.Key
+			// re-taints by name. Value taint smuggled into a struct the
+			// engine cannot blame on a declared field (holder{bits: key})
+			// survives selection.
+			bm := sc.exprMask(e.X, depth+1) &^ typeSrcBit
+			if xt := sc.typeOf(e.X); xt != nil && sc.a.secretField(xt) != "" {
+				bm &^= intrinsicBit
+			}
+			m |= bm
+		} else if obj := sc.p.info.Uses[e.Sel]; obj != nil {
+			m |= sc.masks[obj] // qualified identifier (pkg.Var)
+		}
+		if isBoolSlice(t) && keyish(e.Sel.Name) {
+			m |= intrinsicBit
+		}
+	case *ast.IndexExpr:
+		m |= sc.exprMask(e.X, depth+1) | sc.exprMask(e.Index, depth+1)
+	case *ast.SliceExpr:
+		m |= sc.exprMask(e.X, depth+1)
+	case *ast.StarExpr:
+		m |= sc.exprMask(e.X, depth+1)
+	case *ast.ParenExpr:
+		m |= sc.exprMask(e.X, depth+1)
+	case *ast.UnaryExpr:
+		m |= sc.exprMask(e.X, depth+1)
+	case *ast.TypeAssertExpr:
+		m |= sc.exprMask(e.X, depth+1)
+	case *ast.BinaryExpr:
+		if t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				m |= sc.exprMask(e.X, depth+1) | sc.exprMask(e.Y, depth+1)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			m |= sc.exprMask(elt, depth+1)
+		}
+	case *ast.CallExpr:
+		m |= sc.callMask(e, depth)
+	}
+	return m
+}
+
+// callMask computes the taint of a call's results: conversions and
+// append propagate, sanitizers clear, module functions apply their
+// flow summary, everything else (the untracked standard library) stops
+// taint.
+func (sc *scope) callMask(call *ast.CallExpr, depth int) uint64 {
+	if tv, ok := sc.p.info.Types[call.Fun]; ok {
+		if tv.IsType() { // conversion
+			if len(call.Args) == 1 {
+				return sc.exprMask(call.Args[0], depth+1)
+			}
+			return 0
+		}
+		if tv.IsBuiltin() {
+			if name := builtinName(call.Fun); name == "append" {
+				var m uint64
+				for _, a := range call.Args {
+					m |= sc.exprMask(a, depth+1)
+				}
+				return m
+			}
+			return 0
+		}
+	}
+	// The sprint family returns its arguments rendered: taint passes
+	// straight through (the call is also a sink in its own right).
+	if full := callFullName(sc.p, call); full == "fmt.Sprint" || full == "fmt.Sprintf" || full == "fmt.Sprintln" {
+		var m uint64
+		for _, a := range call.Args {
+			m |= sc.exprMask(a, depth+1)
+		}
+		return m
+	}
+	// Closure bound to a single-assignment local: its returns.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := sc.p.info.Uses[id]; obj != nil {
+			if lit := sc.localLits[obj]; lit != nil {
+				var m uint64
+				for _, r := range sc.litReturns[lit] {
+					m |= sc.exprMask(r, depth+1)
+				}
+				return m
+			}
+		}
+	}
+	node := sc.a.calleeNode(sc.p, call)
+	if node == nil || node.sanitizer {
+		return 0
+	}
+	var m uint64
+	if node.sum.intrinsic {
+		m |= intrinsicBit
+	}
+	for _, b := range sc.a.bindArgs(node, call) {
+		if node.sum.flows&(uint64(1)<<uint(min(b.input, maxInputBit))) != 0 {
+			m |= sc.exprMask(b.arg, depth+1)
+		}
+	}
+	return m
+}
+
+func builtinName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return builtinName(e.X)
+	}
+	return ""
+}
+
+// calleeNode resolves a call to its module funcNode (nil for stdlib,
+// interface calls, and anything else unresolvable).
+func (a *analyzer) calleeNode(p *vetPkg, call *ast.CallExpr) *funcNode {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr:
+			fun = f.X // generic instantiation f[T](…)
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = p.info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = p.info.Uses[f.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return a.funcs[fn.Origin()]
+}
+
+// binding maps one caller argument expression to a callee input index.
+type binding struct {
+	input int
+	arg   ast.Expr
+}
+
+func (a *analyzer) bindArgs(node *funcNode, call *ast.CallExpr) []binding {
+	var out []binding
+	off := 0
+	if node.hasRecv {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			out = append(out, binding{0, sel.X})
+		}
+		off = 1
+	}
+	nParams := len(node.inputs) - off
+	if nParams <= 0 {
+		return out
+	}
+	for i, arg := range call.Args {
+		j := i
+		if j >= nParams {
+			j = nParams - 1 // variadic tail
+		}
+		out = append(out, binding{off + j, arg})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Sources: naming, types, origins
+
+func keyish(name string) bool {
+	return strings.Contains(strings.ToLower(name), "key")
+}
+
+func isBoolSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func (a *analyzer) isGF2Vec(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == a.modPath+"/internal/gf2" && named.Obj().Name() == "Vec"
+}
+
+// secretField returns the path of the first field embedding key
+// material in (a pointer/slice/array of) a struct type — a gf2.Vec
+// field (which covers lfsr.LFSR's state) or a key-named []bool field,
+// recursively — or "" when the type is clean.
+func (a *analyzer) secretField(t types.Type) string {
+	return a.secretFieldRec(t, 0, map[types.Type]bool{})
+}
+
+func (a *analyzer) secretFieldRec(t types.Type, depth int, seen map[types.Type]bool) string {
+	if t == nil || depth > 4 || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return a.secretFieldRec(u.Elem(), depth, seen)
+	case *types.Slice:
+		return a.secretFieldRec(u.Elem(), depth+1, seen)
+	case *types.Array:
+		return a.secretFieldRec(u.Elem(), depth+1, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			switch {
+			case a.isGF2Vec(f.Type()):
+				return f.Name()
+			case isBoolSlice(f.Type()) && keyish(f.Name()):
+				return f.Name()
+			}
+			if _, isStruct := f.Type().Underlying().(*types.Struct); isStruct || isPointerToStruct(f.Type()) {
+				if sub := a.secretFieldRec(f.Type(), depth+1, seen); sub != "" {
+					return f.Name() + "." + sub
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func isPointerToStruct(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, ok = p.Elem().Underlying().(*types.Struct)
+	return ok
+}
+
+// typeStr renders a type package-qualified ("scan.Config").
+func typeStr(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// originOfExpr explains why an expression carries key material: the
+// most specific source it can trace (a tainted local's recorded origin,
+// a key-named field read, a flowing call argument), falling back to the
+// type-based classification. Returns nil when no origin is traceable.
+func (sc *scope) originOfExpr(e ast.Expr, depth int) *origin {
+	if e == nil || depth > 16 {
+		return nil
+	}
+	t := sc.typeOf(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := sc.p.info.Uses[x]; obj != nil {
+			if o := sc.originOf(obj, depth); o != nil {
+				return o
+			}
+		}
+		if isBoolSlice(t) && keyish(x.Name) {
+			return &origin{kind: srcName, name: x.Name, pos: e.Pos()}
+		}
+	case *ast.SelectorExpr:
+		if isBoolSlice(t) && keyish(x.Sel.Name) {
+			return &origin{kind: srcName, name: x.Sel.Name, pos: e.Pos()}
+		}
+		if sel := sc.p.info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if o := sc.originOfExpr(x.X, depth+1); o != nil {
+				return o
+			}
+		}
+	case *ast.ParenExpr:
+		return sc.originOfExpr(x.X, depth+1)
+	case *ast.StarExpr:
+		return sc.originOfExpr(x.X, depth+1)
+	case *ast.UnaryExpr:
+		return sc.originOfExpr(x.X, depth+1)
+	case *ast.IndexExpr:
+		if o := sc.originOfExpr(x.X, depth+1); o != nil {
+			return o
+		}
+		return sc.originOfExpr(x.Index, depth+1)
+	case *ast.SliceExpr:
+		return sc.originOfExpr(x.X, depth+1)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if sc.exprMask(elt, 0)&anySrc != 0 {
+				if o := sc.originOfExpr(elt, depth+1); o != nil {
+					return o
+				}
+			}
+		}
+	case *ast.CallExpr:
+		node := sc.a.calleeNode(sc.p, x)
+		if node == nil {
+			// Conversions, builtins, and pass-through stdlib calls (the
+			// sprint family): the origin is whichever argument carries it.
+			for _, arg := range x.Args {
+				if sc.exprMask(arg, 0)&anySrc != 0 {
+					if o := sc.originOfExpr(arg, depth+1); o != nil {
+						return o
+					}
+				}
+			}
+			break
+		}
+		{
+			for _, b := range sc.a.bindArgs(node, x) {
+				if node.sum.flows&(uint64(1)<<uint(min(b.input, maxInputBit))) == 0 {
+					continue
+				}
+				if sc.exprMask(b.arg, 0)&anySrc != 0 {
+					if o := sc.originOfExpr(b.arg, depth+1); o != nil {
+						return o
+					}
+				}
+			}
+			if node.sum.intrinsic {
+				if o := node.sum.intOrigin; o != nil {
+					return o
+				}
+				return &origin{kind: srcDerived, name: node.relName() + "()", pos: x.Pos()}
+			}
+		}
+	}
+	// Type-based fallbacks.
+	if t != nil {
+		if sc.a.isGF2Vec(t) {
+			return &origin{kind: srcVec, name: types.ExprString(e), pos: e.Pos()}
+		}
+		if f := sc.a.secretField(t); f != "" {
+			return &origin{kind: srcStruct, name: types.ExprString(e), field: f, typ: typeStr(t), pos: e.Pos()}
+		}
+	}
+	return nil
+}
+
+// originOf resolves the recorded origin of a tainted object: the first
+// write whose value carries the intrinsic bit.
+func (sc *scope) originOf(obj types.Object, depth int) *origin {
+	if o, ok := sc.origins[obj]; ok {
+		return o
+	}
+	if sc.inOrig[obj] || depth > 16 {
+		return nil
+	}
+	sc.inOrig[obj] = true
+	defer func() { sc.inOrig[obj] = false }()
+	for _, w := range sc.writes[obj] {
+		if w.rhs == nil {
+			continue
+		}
+		if sc.exprMask(w.rhs, 0)&anySrc != 0 {
+			if o := sc.originOfExpr(w.rhs, depth+1); o != nil {
+				sc.origins[obj] = o
+				return o
+			}
+		}
+	}
+	sc.origins[obj] = nil
+	return nil
+}
